@@ -1,0 +1,54 @@
+// Command janus-lb runs the gateway load balancer (paper §II-A, Fig 1a):
+// an HTTP reverse proxy distributing QoS requests across request router
+// nodes with round-robin or least-connections routing.
+//
+// Example:
+//
+//	janus-lb -addr 127.0.0.1:9090 -backends 127.0.0.1:8080,127.0.0.1:8081 -policy round-robin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/lb"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9090", "HTTP listen address")
+		backends = flag.String("backends", "", "comma-separated request router addresses")
+		policy   = flag.String("policy", "round-robin", "routing policy: round-robin|least-connections")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "janus-lb ", log.LstdFlags|log.Lmicroseconds)
+	if *backends == "" {
+		logger.Fatal("at least one -backends address is required")
+	}
+	l, err := lb.New(lb.Config{
+		Addr:     *addr,
+		Backends: strings.Split(*backends, ","),
+		Policy:   lb.Policy(*policy),
+		Logger:   logger,
+	})
+	if err != nil {
+		logger.Fatalf("start: %v", err)
+	}
+	defer l.Close()
+	logger.Printf("gateway load balancer on http://%s (%s, %d back ends)", l.Addr(), *policy, len(l.Backends()))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := l.Stats()
+	fmt.Fprintf(os.Stderr, "janus-lb: requests=%d proxied=%d backendErrors=%d latency{%s}\n",
+		st.Requests, st.Proxied, st.BackendErrors, l.Latency().Snapshot())
+	for addr, served := range l.ServedPerBackend() {
+		fmt.Fprintf(os.Stderr, "janus-lb:   %s served %d\n", addr, served)
+	}
+}

@@ -1,0 +1,57 @@
+// Command janus-router runs one Janus request router node (paper §III-B):
+// a stateless HTTP front end that partitions QoS requests across the QoS
+// server layer with CRC32(key) mod N and forwards them over UDP with the
+// paper's timeout/retry discipline.
+//
+// Example:
+//
+//	janus-router -addr 127.0.0.1:8080 -backends 127.0.0.1:7101,127.0.0.1:7102
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/router"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		backends     = flag.String("backends", "", "comma-separated QoS server UDP addresses, partition order")
+		timeout      = flag.Duration("timeout", transport.DefaultTimeout, "per-attempt UDP timeout")
+		retries      = flag.Int("retries", transport.DefaultRetries, "maximum UDP attempts")
+		defaultReply = flag.Bool("default-reply", false, "verdict returned when a QoS server is unreachable")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "janus-router ", log.LstdFlags|log.Lmicroseconds)
+	if *backends == "" {
+		logger.Fatal("at least one -backends address is required")
+	}
+	r, err := router.New(router.Config{
+		Addr:         *addr,
+		Backends:     strings.Split(*backends, ","),
+		Transport:    transport.Config{Timeout: *timeout, Retries: *retries},
+		DefaultReply: *defaultReply,
+		Logger:       logger,
+	})
+	if err != nil {
+		logger.Fatalf("start: %v", err)
+	}
+	defer r.Close()
+	logger.Printf("request router on http://%s with %d QoS partitions (timeout=%v retries=%d)",
+		r.Addr(), r.NumBackends(), *timeout, *retries)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := r.Stats()
+	fmt.Fprintf(os.Stderr, "janus-router: requests=%d timeouts=%d defaultReplies=%d latency{%s}\n",
+		st.Requests, st.Timeouts, st.DefaultReplies, r.Latency().Snapshot())
+}

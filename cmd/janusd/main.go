@@ -1,0 +1,113 @@
+// Command janusd runs one Janus QoS server node (paper §III-C): a UDP
+// decision service backed by a local leaky-bucket table, with optional
+// database synchronization, checkpointing, and an HA replication listener.
+//
+// Example:
+//
+//	janus-dbd  -addr 127.0.0.1:7000 &
+//	janusd     -addr 127.0.0.1:7101 -db 127.0.0.1:7000 -repl 127.0.0.1:7201
+//	janusd     -addr 127.0.0.1:7102 -db 127.0.0.1:7000 -follow 127.0.0.1:7201
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/bucket"
+	"repro/internal/minisql"
+	"repro/internal/qosserver"
+	"repro/internal/store"
+	"repro/internal/table"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7101", "UDP listen address")
+		workers     = flag.Int("workers", 0, "worker goroutines (0 = #CPUs)")
+		queue       = flag.Int("queue", 65536, "listener FIFO capacity")
+		dbAddr      = flag.String("db", "", "minisql database address (empty = no database)")
+		tableKind   = flag.String("table", "sharded", "QoS table implementation: sharded|mutex")
+		defRate     = flag.Float64("default-rate", 0, "default rule refill rate (req/s) for unknown keys")
+		defCapacity = flag.Float64("default-capacity", 0, "default rule bucket capacity for unknown keys")
+		syncIv      = flag.Duration("sync", 5*time.Second, "database rule sync interval (0 disables)")
+		checkpoint  = flag.Duration("checkpoint", 10*time.Second, "database checkpoint interval (0 disables)")
+		refill      = flag.Duration("refill", 0, "housekeeping refill tick (0 = exact lazy refill)")
+		replAddr    = flag.String("repl", "", "HA replication listen address (empty disables)")
+		follow      = flag.String("follow", "", "run as slave replicating from this master replication address")
+		followIv    = flag.Duration("follow-interval", 100*time.Millisecond, "slave replication pull interval")
+		failOpen    = flag.Bool("fail-open", false, "admit requests when the database is unreachable")
+		preload     = flag.Bool("preload", false, "load the full rule table from the database at startup")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "janusd ", log.LstdFlags|log.Lmicroseconds)
+
+	var st *store.Store
+	if *dbAddr != "" {
+		pool := minisql.NewPool(*dbAddr, 8)
+		defer pool.Close()
+		st = store.New(pool)
+		if err := st.Init(); err != nil {
+			logger.Fatalf("database init: %v", err)
+		}
+	}
+
+	cfg := qosserver.Config{
+		Addr:               *addr,
+		Workers:            *workers,
+		QueueSize:          *queue,
+		TableKind:          table.Kind(*tableKind),
+		DefaultRule:        bucket.Rule{RefillRate: *defRate, Capacity: *defCapacity, Credit: *defCapacity},
+		RefillInterval:     *refill,
+		SyncInterval:       *syncIv,
+		CheckpointInterval: *checkpoint,
+		Store:              st,
+		FailOpen:           *failOpen,
+		ReplicationAddr:    *replAddr,
+		Logger:             logger,
+	}
+	srv, err := qosserver.New(cfg)
+	if err != nil {
+		logger.Fatalf("start: %v", err)
+	}
+	defer srv.Close()
+	if *preload {
+		if err := srv.Preload(); err != nil {
+			logger.Fatalf("preload: %v", err)
+		}
+		logger.Printf("preloaded %d rules", srv.TableLen())
+	}
+	logger.Printf("QoS server on udp://%s (table=%s workers=%d)", srv.Addr(), *tableKind, *workers)
+	if srv.ReplicationAddr() != "" {
+		logger.Printf("HA replication on tcp://%s", srv.ReplicationAddr())
+	}
+
+	var rep *qosserver.Replicator
+	if *follow != "" {
+		rep = qosserver.NewReplicator(srv, *follow, *followIv)
+		if err := rep.Start(); err != nil {
+			logger.Fatalf("follow %s: %v", *follow, err)
+		}
+		logger.Printf("replicating from %s every %v", *follow, *followIv)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
+	for s := range sig {
+		if s == syscall.SIGUSR1 && rep != nil {
+			// Promotion: stop pulling, keep serving the warm table.
+			rep.Stop()
+			logger.Printf("promoted: replication stopped, serving as master")
+			rep = nil
+			continue
+		}
+		break
+	}
+	st0 := srv.Stats()
+	fmt.Fprintf(os.Stderr, "janusd: decisions=%d allowed=%d denied=%d dbQueries=%d dropped=%d\n",
+		st0.Decisions, st0.Allowed, st0.Denied, st0.DBQueries, st0.Dropped)
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Janus: A Generic QoS
+// Framework for Software-as-a-Service Applications" (Jiang, Lee, Zomaya —
+// IEEE CLUSTER 2018).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); runnable binaries under cmd/; usage examples under examples/.
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation — run them with:
+//
+//	go test -bench=. -benchtime=1x -benchmem
+//
+// or use cmd/janus-bench for the full formatted report.
+package repro

@@ -1,0 +1,225 @@
+package app
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/bucket"
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/memcache"
+	"repro/internal/minisql"
+)
+
+type deps struct {
+	db *minisql.Engine
+	mc *memcache.Server
+}
+
+func startDeps(t *testing.T) deps {
+	t.Helper()
+	mcSrv, err := memcache.NewServer(memcache.NewCache(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mcSrv.Close() })
+	return deps{db: minisql.NewEngine(), mc: mcSrv}
+}
+
+func startApp(t *testing.T, d deps, qos *client.Client) *App {
+	t.Helper()
+	a, err := New(Config{
+		Addr:         "127.0.0.1:0",
+		MemcacheAddr: d.mc.Addr(),
+		DB:           d.db,
+		QoS:          qos,
+		LatestN:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+func get(t *testing.T, a *App, ip string) (int, string) {
+	t.Helper()
+	req, _ := http.NewRequest("GET", "http://"+a.Addr()+"/", nil)
+	if ip != "" {
+		req.Header.Set("X-Forwarded-For", ip)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestIndexWithoutQoS(t *testing.T) {
+	d := startDeps(t)
+	if err := Seed(d.db, 20); err != nil {
+		t.Fatal(err)
+	}
+	a := startApp(t, d, nil)
+	code, body := get(t, a, "203.0.113.9")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	// Latest 5 photos in descending id order.
+	for _, want := range []string{"#20", "#19", "#18", "#17", "#16"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("body missing %s", want)
+		}
+	}
+	if strings.Contains(body, "#15") {
+		t.Error("body contains photo beyond LatestN")
+	}
+	if !strings.Contains(body, "203.0.113.9") {
+		t.Error("session IP missing")
+	}
+}
+
+func TestSessionVisitsIncrement(t *testing.T) {
+	d := startDeps(t)
+	Seed(d.db, 1)
+	a := startApp(t, d, nil)
+	_, b1 := get(t, a, "198.51.100.1")
+	_, b2 := get(t, a, "198.51.100.1")
+	_, other := get(t, a, "198.51.100.2")
+	if !strings.Contains(b1, "1 visits") || !strings.Contains(b2, "2 visits") {
+		t.Fatalf("visit counting broken:\n%s\n%s", b1, b2)
+	}
+	if !strings.Contains(other, "1 visits") {
+		t.Fatal("sessions not per-IP")
+	}
+}
+
+func TestUpload(t *testing.T) {
+	d := startDeps(t)
+	a := startApp(t, d, nil)
+	resp, err := http.Post("http://"+a.Addr()+"/upload?owner=erin&title=Sunset", "", nil)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: %v %v", resp, err)
+	}
+	resp.Body.Close()
+	_, body := get(t, a, "x")
+	if !strings.Contains(body, "Sunset") || !strings.Contains(body, "erin") {
+		t.Fatalf("uploaded photo not shown:\n%s", body)
+	}
+	// Invalid upload.
+	resp, _ = http.Post("http://"+a.Addr()+"/upload", "", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad upload status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// GET not allowed.
+	resp, _ = http.Get("http://" + a.Addr() + "/upload?owner=a&title=b")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET upload status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestUploadIDsUnique(t *testing.T) {
+	d := startDeps(t)
+	Seed(d.db, 5)
+	a := startApp(t, d, nil)
+	for i := 0; i < 10; i++ {
+		resp, err := http.Post(fmt.Sprintf("http://%s/upload?owner=o&title=t%d", a.Addr(), i), "", nil)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("upload %d: %v %v", i, resp.StatusCode, err)
+		}
+		resp.Body.Close()
+	}
+	res, err := d.db.Execute(`SELECT COUNT(*) FROM photos`)
+	if err != nil || res.Rows[0][0].AsInt() != 15 {
+		t.Fatalf("photos = %v err=%v", res.Rows, err)
+	}
+}
+
+// TestQoSIntegration runs the full §V-D stack: Janus cluster + photo app,
+// QoS key = client IP, custom rule for a known IP, default rule otherwise.
+func TestQoSIntegration(t *testing.T) {
+	jc, err := cluster.New(cluster.Config{
+		Routers:     1,
+		QoSServers:  1,
+		DefaultRule: bucket.Rule{RefillRate: 0, Capacity: 2, Credit: 2},
+		Rules: []bucket.Rule{
+			{Key: "203.0.113.50", RefillRate: 0, Capacity: 5, Credit: 5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jc.Close()
+
+	d := startDeps(t)
+	Seed(d.db, 3)
+	qos := client.New(jc.Endpoint())
+	a := startApp(t, d, qos)
+
+	// Known IP: 5 requests pass, the 6th is throttled with 403.
+	for i := 0; i < 5; i++ {
+		if code, _ := get(t, a, "203.0.113.50"); code != http.StatusOK {
+			t.Fatalf("known IP request %d: %d", i, code)
+		}
+	}
+	code, body := get(t, a, "203.0.113.50")
+	if code != http.StatusForbidden || !strings.Contains(body, "Throttled") {
+		t.Fatalf("known IP over-quota: %d %q", code, body)
+	}
+
+	// Unknown IP gets the default rule: 2 requests.
+	for i := 0; i < 2; i++ {
+		if code, _ := get(t, a, "198.51.100.77"); code != http.StatusOK {
+			t.Fatalf("unknown IP request %d: %d", i, code)
+		}
+	}
+	if code, _ := get(t, a, "198.51.100.77"); code != http.StatusForbidden {
+		t.Fatalf("unknown IP over-quota: %d", code)
+	}
+}
+
+func TestAppOverNetworkedDB(t *testing.T) {
+	// Full networked shape: app -> minisql TCP pool, like PHP -> MySQL.
+	engine := minisql.NewEngine()
+	dbSrv, err := minisql.NewServer(engine, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbSrv.Close()
+	pool := minisql.NewPool(dbSrv.Addr(), 4)
+	defer pool.Close()
+	if err := Seed(pool, 3); err != nil {
+		t.Fatal(err)
+	}
+	mcSrv, err := memcache.NewServer(memcache.NewCache(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mcSrv.Close()
+	a, err := New(Config{Addr: "127.0.0.1:0", MemcacheAddr: mcSrv.Addr(), DB: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	code, body := get(t, a, "x")
+	if code != http.StatusOK || !strings.Contains(body, "#3") {
+		t.Fatalf("code=%d body=%q", code, body)
+	}
+}
+
+func TestNotFoundPath(t *testing.T) {
+	d := startDeps(t)
+	a := startApp(t, d, nil)
+	resp, err := http.Get("http://" + a.Addr() + "/nope")
+	if err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("resp=%v err=%v", resp, err)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,109 @@
+// Package client is the Janus QoS client library — the Go equivalent of
+// the paper's qos_client.php (§IV). It issues the key-value QoS check
+// against a Janus HTTP endpoint (gateway LB or request router) and offers
+// an HTTP middleware that mirrors the paper's integration snippet: run the
+// check before the wrapped handler, and answer 403 Forbidden when Janus
+// says FALSE.
+package client
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Client checks admission against one Janus endpoint.
+type Client struct {
+	endpoint string
+	http     *http.Client
+	// FailOpen selects the verdict when Janus itself is unreachable.
+	FailOpen bool
+}
+
+// New creates a client for a Janus HTTP endpoint ("host:port").
+func New(endpoint string) *Client {
+	return &Client{
+		endpoint: endpoint,
+		http: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 256,
+				IdleConnTimeout:     30 * time.Second,
+			},
+			Timeout: 5 * time.Second,
+		},
+	}
+}
+
+// Check performs qos_check(key): TRUE admits, FALSE throttles.
+func (c *Client) Check(key string) (bool, error) {
+	return c.CheckCost(key, 1)
+}
+
+// CheckCost performs a weighted check consuming cost credits.
+func (c *Client) CheckCost(key string, cost float64) (bool, error) {
+	resp, err := c.http.Get("http://" + c.endpoint + wire.FormatHTTPQuery(wire.Request{Key: key, Cost: cost}))
+	if err != nil {
+		return c.FailOpen, fmt.Errorf("client: qos check: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return c.FailOpen, fmt.Errorf("client: qos check read: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return c.FailOpen, fmt.Errorf("client: qos check HTTP %d", resp.StatusCode)
+	}
+	allow, err := wire.ParseHTTPBody(string(body))
+	if err != nil {
+		return c.FailOpen, err
+	}
+	return allow, nil
+}
+
+// KeyFunc extracts the QoS key from a request. The paper's examples: the
+// client IP for anonymous browsing, the username for account quotas, the
+// User-Agent for crawler policies, or user+database for NoSQL services.
+type KeyFunc func(*http.Request) string
+
+// ByRemoteIP keys on the client IP address ($_SERVER['REMOTE_ADDR']).
+func ByRemoteIP(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// ByUserAgent keys on the User-Agent header (the search-crawler use case).
+func ByUserAgent(r *http.Request) string { return r.Header.Get("User-Agent") }
+
+// ByHeader keys on an arbitrary header (e.g. an API token).
+func ByHeader(name string) KeyFunc {
+	return func(r *http.Request) string { return r.Header.Get(name) }
+}
+
+// ThrottledBody is the response body sent with 403 replies.
+const ThrottledBody = "Throttled by Janus QoS\n"
+
+// Wrap guards an HTTP handler with an admission check — the Go rendering
+// of the paper's PHP wrapper:
+//
+//	$qos = qos_check($key);
+//	if ($qos) { include("original_index.php"); }
+//	else      { header("HTTP/1.1 403 Forbidden"); }
+func (c *Client) Wrap(key KeyFunc, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ok, _ := c.Check(key(r)) // unreachable Janus falls back to FailOpen
+		if !ok {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.WriteHeader(http.StatusForbidden)
+			io.WriteString(w, ThrottledBody)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,340 @@
+// Package cloudsim models the paper's AWS deployment (§V) as a
+// discrete-event simulation, substituting for the EC2 testbed in the
+// scaling experiments (Figs 7–12). The topology, routing logic and layer
+// roles mirror the real implementation exactly — client fleet → load
+// balancer → request router layer → QoS server layer — with per-node
+// capacities taken from the calibrated cost model in internal/sim.
+//
+// Each simulated client is closed-loop (as the paper's modified "ab"): it
+// issues its next QoS request as soon as the previous response arrives.
+// Routers and QoS servers are multi-server FIFO stations whose service
+// slots equal the node's vCPUs and whose service-time distribution is
+// exponential with the calibrated mean, so a node's maximum sustainable
+// throughput equals its modelled capacity.
+package cloudsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// RoutingMode selects how clients reach the router layer (§II-A).
+type RoutingMode int
+
+// Routing modes.
+const (
+	// GatewayRR is the ELB path: an extra proxy hop, round-robin across
+	// all router nodes per request.
+	GatewayRR RoutingMode = iota
+	// DNSPinned is the DNS load-balancer path: no extra hop, but each
+	// client sticks to one router node until its DNS TTL expires (§V-A).
+	DNSPinned
+)
+
+// Deployment describes one simulated Janus installation.
+type Deployment struct {
+	// Routers and QoS define the two scaled layers.
+	Routers []sim.Node
+	QoS     []sim.Node
+	// Mode selects the load-balancing path.
+	Mode RoutingMode
+	// DNSTTL is the client-side cache lifetime in DNSPinned mode.
+	DNSTTL time.Duration
+
+	// One-way network latencies; zero values select AWS-like defaults.
+	ClientToLB    time.Duration // client fleet -> LB (or router in DNS mode)
+	LBToRouter    time.Duration // extra gateway hop
+	RouterToQoS   time.Duration // router -> QoS server (UDP leg)
+	LatencyJitter float64       // fractional uniform jitter on each leg
+}
+
+// Defaults matching intra-AZ EC2 latencies circa 2018.
+const (
+	DefaultClientToLB  = 280 * time.Microsecond
+	DefaultLBToRouter  = 250 * time.Microsecond
+	DefaultRouterToQoS = 100 * time.Microsecond
+	DefaultDNSTTL      = 30 * time.Second
+)
+
+func (d *Deployment) defaults() {
+	if d.ClientToLB == 0 {
+		d.ClientToLB = DefaultClientToLB
+	}
+	if d.LBToRouter == 0 {
+		d.LBToRouter = DefaultLBToRouter
+	}
+	if d.RouterToQoS == 0 {
+		d.RouterToQoS = DefaultRouterToQoS
+	}
+	if d.DNSTTL == 0 {
+		d.DNSTTL = DefaultDNSTTL
+	}
+}
+
+// RouterNodes builds a homogeneous router layer.
+func RouterNodes(t sim.InstanceType, n int) []sim.Node {
+	out := make([]sim.Node, n)
+	for i := range out {
+		out[i] = sim.Node{Type: t, Layer: sim.LayerRouter}
+	}
+	return out
+}
+
+// QoSNodes builds a homogeneous QoS server layer.
+func QoSNodes(t sim.InstanceType, n int) []sim.Node {
+	out := make([]sim.Node, n)
+	for i := range out {
+		out[i] = sim.Node{Type: t, Layer: sim.LayerQoS}
+	}
+	return out
+}
+
+// RunConfig drives one simulation run.
+type RunConfig struct {
+	// Clients is the closed-loop client-thread count (the paper's ten
+	// c3.8xlarge load nodes run hundreds of concurrent ab threads).
+	Clients int
+	// ClientNodes is the number of physical client machines; in DNSPinned
+	// mode all threads of one machine share its DNS cache (§V-A). 0 means
+	// one machine per client thread.
+	ClientNodes int
+	// OfferedRate, when > 0, switches from closed-loop clients to an
+	// open-loop Poisson arrival process at this rate (req/s) — used for
+	// latency-vs-load curves. Clients is ignored in this mode.
+	OfferedRate float64
+	// Duration is the measured virtual interval, after Warmup.
+	Duration time.Duration
+	// Warmup is discarded virtual time at the start.
+	Warmup time.Duration
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *RunConfig) defaults() {
+	if c.Clients <= 0 {
+		c.Clients = 1024
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = time.Second
+	}
+}
+
+// NodeReport summarizes one node after a run.
+type NodeReport struct {
+	Node       sim.Node
+	Throughput float64 // req/s served in the measured interval
+	CPU        float64 // modelled CPU utilization (0..1)
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Throughput is completed requests per second over the measured
+	// interval (the paper's "requests per second" y-axis).
+	Throughput float64
+	// Routers and QoS report per-node load and CPU.
+	Routers []NodeReport
+	QoS     []NodeReport
+	// Latency is the end-to-end request latency histogram (ns), measured
+	// interval only.
+	Latency *metrics.Histogram
+	// Events is the number of simulation events processed.
+	Events int
+}
+
+// RouterCPUMean returns the average router-layer CPU utilization.
+func (r Result) RouterCPUMean() float64 { return meanCPU(r.Routers) }
+
+// QoSCPUMean returns the average QoS-layer CPU utilization.
+func (r Result) QoSCPUMean() float64 { return meanCPU(r.QoS) }
+
+func meanCPU(nodes []NodeReport) float64 {
+	if len(nodes) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, n := range nodes {
+		sum += n.CPU
+	}
+	return sum / float64(len(nodes))
+}
+
+// ActiveRouters counts router nodes that served any traffic (used by the
+// DNS-TTL skew ablation).
+func (r Result) ActiveRouters() int {
+	n := 0
+	for _, nr := range r.Routers {
+		if nr.Throughput > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Run simulates the deployment under maximum closed-loop load and reports
+// saturated throughput and per-node CPU.
+func Run(dep Deployment, cfg RunConfig) (Result, error) {
+	dep.defaults()
+	cfg.defaults()
+	if len(dep.Routers) == 0 || len(dep.QoS) == 0 {
+		return Result{}, fmt.Errorf("cloudsim: deployment needs at least one router and one QoS node")
+	}
+	for _, n := range dep.Routers {
+		if n.Layer != sim.LayerRouter {
+			return Result{}, fmt.Errorf("cloudsim: router node with layer %q", n.Layer)
+		}
+	}
+	for _, n := range dep.QoS {
+		if n.Layer != sim.LayerQoS {
+			return Result{}, fmt.Errorf("cloudsim: qos node with layer %q", n.Layer)
+		}
+	}
+
+	eng := des.NewEngine(cfg.Seed)
+	routerSt := make([]*des.Station, len(dep.Routers))
+	routerSvc := make([]des.Time, len(dep.Routers))
+	for i, n := range dep.Routers {
+		routerSt[i] = des.NewStation(eng, n.Workers(), 0)
+		routerSvc[i] = des.Ceil(n.ServiceTime())
+	}
+	qosSt := make([]*des.Station, len(dep.QoS))
+	qosSvc := make([]des.Time, len(dep.QoS))
+	for i, n := range dep.QoS {
+		qosSt[i] = des.NewStation(eng, n.Workers(), 0)
+		qosSvc[i] = des.Ceil(n.ServiceTime())
+	}
+
+	warmup := des.FromDuration(cfg.Warmup)
+	end := warmup + des.FromDuration(cfg.Duration)
+	latency := metrics.NewHistogram()
+
+	var completedMeasured int64
+	routerServedAtWarmup := make([]int64, len(routerSt))
+	qosServedAtWarmup := make([]int64, len(qosSt))
+	eng.At(warmup, func() {
+		for i, st := range routerSt {
+			routerServedAtWarmup[i] = st.Served()
+		}
+		for i, st := range qosSt {
+			qosServedAtWarmup[i] = st.Served()
+		}
+	})
+
+	clientNodes := cfg.ClientNodes
+	if clientNodes <= 0 {
+		clientNodes = cfg.Clients
+	}
+	// Per client-node DNS pinning state (DNSPinned mode): each client
+	// machine re-resolves when its TTL expires; round-robin DNS answers
+	// rotate, so machine m gets router (m + epoch) mod M.
+	ttl := des.FromDuration(dep.DNSTTL)
+
+	lat := func(base time.Duration) des.Time {
+		t := des.FromDuration(base)
+		if dep.LatencyJitter > 0 {
+			j := des.Time(float64(t) * dep.LatencyJitter)
+			return eng.Uniform(t-j, t+j+1)
+		}
+		return t
+	}
+
+	rr := 0
+	pickRouter := func(clientID int) int {
+		switch dep.Mode {
+		case DNSPinned:
+			machine := clientID % clientNodes
+			epoch := int(eng.Now() / ttl)
+			return (machine + epoch) % len(routerSt)
+		default:
+			rr = (rr + 1) % len(routerSt)
+			return rr
+		}
+	}
+
+	closedLoop := cfg.OfferedRate <= 0
+	var issue func(clientID int)
+	issue = func(clientID int) {
+		start := eng.Now()
+		// Key selection: CRC32-mod-N distributes uniformly (validated by
+		// the Fig 6 experiment); draw the partition directly.
+		q := eng.Rand().Intn(len(qosSt))
+		r := pickRouter(clientID)
+
+		reachRouter := lat(dep.ClientToLB)
+		if dep.Mode == GatewayRR {
+			reachRouter += lat(dep.LBToRouter)
+		}
+		eng.After(reachRouter, func() {
+			routerSt[r].Submit(eng.Exp(routerSvc[r]), func() {
+				eng.After(lat(dep.RouterToQoS), func() {
+					qosSt[q].Submit(eng.Exp(qosSvc[q]), func() {
+						// Response path: QoS -> router -> client.
+						back := lat(dep.RouterToQoS) + reachRouter
+						eng.After(back, func() {
+							if eng.Now() > warmup && eng.Now() <= end {
+								completedMeasured++
+								latency.Record(int64(eng.Now() - start))
+							}
+							if closedLoop && eng.Now() < end {
+								issue(clientID)
+							}
+						})
+					})
+				})
+			})
+		})
+	}
+
+	if closedLoop {
+		for c := 0; c < cfg.Clients; c++ {
+			c := c
+			// Stagger arrivals across one RTT to avoid a synchronized start.
+			eng.At(eng.Uniform(0, des.FromDuration(2*time.Millisecond)), func() { issue(c) })
+		}
+	} else {
+		// Open loop: Poisson arrivals, one request each, until end.
+		gap := des.FromSeconds(1 / cfg.OfferedRate)
+		id := 0
+		var arrive func()
+		arrive = func() {
+			issue(id)
+			id++
+			if eng.Now() < end {
+				eng.After(eng.Exp(gap), arrive)
+			}
+		}
+		eng.At(0, arrive)
+	}
+
+	events := eng.Run(end)
+	interval := des.Time(end - warmup).Seconds()
+
+	res := Result{
+		Throughput: float64(completedMeasured) / interval,
+		Latency:    latency,
+		Events:     events,
+	}
+	for i, st := range routerSt {
+		load := float64(st.Served()-routerServedAtWarmup[i]) / interval
+		res.Routers = append(res.Routers, NodeReport{
+			Node:       dep.Routers[i],
+			Throughput: load,
+			CPU:        dep.Routers[i].CPUUtilization(load),
+		})
+	}
+	for i, st := range qosSt {
+		load := float64(st.Served()-qosServedAtWarmup[i]) / interval
+		res.QoS = append(res.QoS, NodeReport{
+			Node:       dep.QoS[i],
+			Throughput: load,
+			CPU:        dep.QoS[i].CPUUtilization(load),
+		})
+	}
+	return res, nil
+}

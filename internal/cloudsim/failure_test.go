@@ -1,0 +1,66 @@
+package cloudsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFailureLocality(t *testing.T) {
+	res, err := FailureLocality(FailureLocalityConfig{
+		QoSNodes: 4,
+		FailAt:   2 * time.Second,
+		Duration: 6 * time.Second,
+		Clients:  256,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the failed partition produced default replies.
+	for i, n := range res.DefaultReplies {
+		if i == res.FailedPartition {
+			if n == 0 {
+				t.Errorf("failed partition %d produced no default replies", i)
+			}
+			continue
+		}
+		if n != 0 {
+			t.Errorf("healthy partition %d produced %d default replies", i, n)
+		}
+	}
+	// Healthy partitions keep their throughput (±10%).
+	if res.HealthyBefore <= 0 {
+		t.Fatal("no pre-failure throughput measured")
+	}
+	ratio := res.HealthyAfter / res.HealthyBefore
+	if ratio < 0.9 || ratio > 1.15 {
+		t.Errorf("healthy throughput moved %.2fx across the failure (before %.0f, after %.0f)",
+			ratio, res.HealthyBefore, res.HealthyAfter)
+	}
+}
+
+func TestFailureLocalityWithReplacement(t *testing.T) {
+	res, err := FailureLocality(FailureLocalityConfig{
+		QoSNodes:  4,
+		FailAt:    2 * time.Second,
+		ReplaceAt: 4 * time.Second,
+		Duration:  8 * time.Second,
+		Clients:   256,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecoveredAt == 0 {
+		t.Fatal("replacement never recorded")
+	}
+	if res.RecoveredAt < 4*time.Second || res.RecoveredAt > 5*time.Second {
+		t.Fatalf("recovered at %v, want ~4s", res.RecoveredAt)
+	}
+}
+
+func TestFailureLocalityValidation(t *testing.T) {
+	if _, err := FailureLocality(FailureLocalityConfig{QoSNodes: 1}); err == nil {
+		t.Fatal("single-node failure experiment accepted")
+	}
+}

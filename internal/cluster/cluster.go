@@ -1,0 +1,533 @@
+// Package cluster boots a complete Janus deployment in-process on loopback:
+// database layer (minisql, optionally master/standby), QoS server layer
+// (optionally with HA slave pairs), request router layer, and either a
+// gateway load balancer or DNS load balancing (paper Fig 1a/1b). It is the
+// real networked system — every request crosses real TCP/UDP sockets — and
+// is used by the integration tests, the examples, and the real-path
+// experiments (Fig 5, Fig 13).
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bucket"
+	"repro/internal/dns"
+	"repro/internal/lb"
+	"repro/internal/loadgen"
+	"repro/internal/minisql"
+	"repro/internal/qosserver"
+	"repro/internal/router"
+	"repro/internal/store"
+	"repro/internal/table"
+	"repro/internal/transport"
+)
+
+// Mode selects the load-balancing front end.
+type Mode int
+
+// Front-end modes (paper Fig 1).
+const (
+	// Gateway deploys an HTTP reverse-proxy load balancer (Fig 1a).
+	Gateway Mode = iota
+	// DNS exposes the router addresses via a round-robin DNS record
+	// (Fig 1b); clients resolve and connect directly.
+	DNS
+)
+
+// Domain names used inside the cluster's private DNS zone.
+const (
+	Domain    = "janus.local"
+	DBName    = "db." + Domain
+	qosPrefix = "qos-"
+)
+
+// Config sizes and tunes a deployment.
+type Config struct {
+	// Routers and QoSServers set the layer widths (default 1 each).
+	Routers    int
+	QoSServers int
+	// QoSWorkers sets worker goroutines per QoS server (0 = #CPUs).
+	QoSWorkers int
+	// Mode selects gateway or DNS load balancing.
+	Mode Mode
+	// LBPolicy applies in Gateway mode.
+	LBPolicy lb.Policy
+	// LBHopDelay, when non-nil, runs once per proxied request and may
+	// sleep — used by experiments to model the gateway appliance's extra
+	// network hop at AWS distances.
+	LBHopDelay func()
+	// DefaultRule applies to unknown keys (zero value denies).
+	DefaultRule bucket.Rule
+	// TableKind selects the QoS table implementation.
+	TableKind table.Kind
+	// SyncInterval / CheckpointInterval / RefillInterval configure the QoS
+	// server maintenance threads (0 disables the respective thread; refill
+	// then uses the exact lazy discipline).
+	SyncInterval       time.Duration
+	CheckpointInterval time.Duration
+	RefillInterval     time.Duration
+	// Transport tunes the router→QoS UDP exchange.
+	Transport transport.Config
+	// DefaultReply is the router's verdict when a QoS server is
+	// unreachable.
+	DefaultReply bool
+	// HA adds a slave to every QoS server and a DNS failover record.
+	HA bool
+	// DBHA deploys the database as a master/standby pair behind a DNS
+	// failover record — the Multi-AZ RDS shape of §III-D.
+	DBHA bool
+	// HAInterval is the slave replication pull interval.
+	HAInterval time.Duration
+	// DNSTTL is the TTL of the cluster's DNS records.
+	DNSTTL time.Duration
+	// Rules seeds the database.
+	Rules []bucket.Rule
+}
+
+func (c *Config) defaults() {
+	if c.Routers <= 0 {
+		c.Routers = 1
+	}
+	if c.QoSServers <= 0 {
+		c.QoSServers = 1
+	}
+	if c.Transport.Timeout == 0 {
+		// Loopback with Go schedulers needs a little more headroom than
+		// the paper's intra-AZ 100µs; the discipline is identical.
+		c.Transport = transport.Config{Timeout: 20 * time.Millisecond, Retries: transport.DefaultRetries}
+	}
+	if c.HAInterval <= 0 {
+		c.HAInterval = 50 * time.Millisecond
+	}
+	if c.DNSTTL <= 0 {
+		c.DNSTTL = 30 * time.Second
+	}
+}
+
+// QoSPair is a master QoS server and its optional HA slave.
+type QoSPair struct {
+	Name   string
+	Master *qosserver.Server
+	Slave  *qosserver.Server
+	Rep    *qosserver.Replicator
+
+	// masterDown marks the master as failed; the DNS health check reads it
+	// concurrently with FailMaster.
+	masterDown atomic.Bool
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	cfg Config
+
+	DNS      *dns.Server
+	Resolver *dns.Resolver
+
+	DBEngine *minisql.Engine
+	DBServer *minisql.Server
+	dbPool   *minisql.Pool
+	Store    *store.Store
+
+	// Database standby (DBHA only).
+	DBStandbyEngine *minisql.Engine
+	DBStandbyServer *minisql.Server
+	dbReplica       *minisql.Replica
+	dbExec          *dnsExecutor
+
+	QoS     []*QoSPair
+	Routers []*router.Router
+	LB      *lb.LB
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New boots a deployment per cfg. On error, everything already started is
+// torn down.
+func New(cfg Config) (c *Cluster, err error) {
+	cfg.defaults()
+	c = &Cluster{cfg: cfg, DNS: dns.NewServer()}
+	defer func() {
+		if err != nil {
+			c.Close()
+		}
+	}()
+
+	// Database layer.
+	c.DBEngine = minisql.NewEngine()
+	c.DBServer, err = minisql.NewServer(c.DBEngine, "127.0.0.1:0", nil)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DBHA {
+		// Multi-AZ shape: standby replicates from the master; the DB DNS
+		// name is a health-checked failover record; the store resolves the
+		// name on every borrowed connection so a failover is picked up
+		// transparently.
+		c.DBStandbyEngine = minisql.NewEngine()
+		c.DBStandbyServer, err = minisql.NewServer(c.DBStandbyEngine, "127.0.0.1:0", nil)
+		if err != nil {
+			return nil, err
+		}
+		c.DBStandbyServer.SetReadOnly(true)
+		c.dbReplica = minisql.NewReplica(c.DBStandbyEngine)
+		if err = c.dbReplica.Follow(c.DBServer.Addr()); err != nil {
+			return nil, err
+		}
+		masterAddr := c.DBServer.Addr()
+		c.DNS.SetFailover(DBName, cfg.DNSTTL, masterAddr, c.DBStandbyServer.Addr(),
+			func(addr string) bool {
+				cl, err := minisql.DialTimeout(addr, 500*time.Millisecond)
+				if err != nil {
+					return false
+				}
+				defer cl.Close()
+				serving, err := cl.Ping()
+				return err == nil && serving
+			}, cfg.HAInterval)
+		c.dbExec = newDNSExecutor(c.DNS)
+		c.Store = store.New(c.dbExec)
+	} else {
+		c.DNS.SetA(DBName, cfg.DNSTTL, c.DBServer.Addr())
+		c.dbPool = minisql.NewPool(c.DBServer.Addr(), 8)
+		c.Store = store.New(c.dbPool)
+	}
+	if err = c.Store.Init(); err != nil {
+		return nil, err
+	}
+	if err = c.Store.PutAll(cfg.Rules); err != nil {
+		return nil, err
+	}
+
+	// QoS server layer.
+	for i := 0; i < cfg.QoSServers; i++ {
+		pair, err2 := c.startQoSPair(i)
+		if err2 != nil {
+			return nil, err2
+		}
+		c.QoS = append(c.QoS, pair)
+	}
+
+	// Request router layer: backends addressed by DNS name so failovers
+	// are picked up by re-resolution.
+	c.Resolver = dns.NewResolver(c.DNS)
+	backendNames := make([]string, cfg.QoSServers)
+	for i := range backendNames {
+		backendNames[i] = qosName(i)
+	}
+	for i := 0; i < cfg.Routers; i++ {
+		r, err2 := router.New(router.Config{
+			Addr:         "127.0.0.1:0",
+			Backends:     backendNames,
+			Resolver:     routerResolver{c.Resolver},
+			Transport:    cfg.Transport,
+			DefaultReply: cfg.DefaultReply,
+		})
+		if err2 != nil {
+			return nil, err2
+		}
+		c.Routers = append(c.Routers, r)
+		c.DNS.AddA(Domain, cfg.DNSTTL, r.Addr())
+	}
+
+	// Front end.
+	if cfg.Mode == Gateway {
+		addrs := make([]string, len(c.Routers))
+		for i, r := range c.Routers {
+			addrs[i] = r.Addr()
+		}
+		c.LB, err = lb.New(lb.Config{Addr: "127.0.0.1:0", Backends: addrs, Policy: cfg.LBPolicy, HopDelay: cfg.LBHopDelay})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// dnsExecutor is a store executor that resolves the database DNS name per
+// call and maintains one pool per resolved address, so a DNS failover
+// redirects subsequent statements to the promoted standby without any
+// client reconfiguration.
+type dnsExecutor struct {
+	dns   *dns.Server
+	mu    sync.Mutex
+	pools map[string]*minisql.Pool
+}
+
+func newDNSExecutor(d *dns.Server) *dnsExecutor {
+	return &dnsExecutor{dns: d, pools: make(map[string]*minisql.Pool)}
+}
+
+// Execute implements store.Executor.
+func (e *dnsExecutor) Execute(sql string, args ...minisql.Value) (minisql.Result, error) {
+	addrs, _, err := e.dns.Query(DBName)
+	if err != nil {
+		return minisql.Result{}, err
+	}
+	if len(addrs) == 0 {
+		return minisql.Result{}, fmt.Errorf("cluster: no database address for %s", DBName)
+	}
+	e.mu.Lock()
+	pool, ok := e.pools[addrs[0]]
+	if !ok {
+		pool = minisql.NewPool(addrs[0], 8)
+		e.pools[addrs[0]] = pool
+	}
+	e.mu.Unlock()
+	return pool.Execute(sql, args...)
+}
+
+func (e *dnsExecutor) close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, p := range e.pools {
+		p.Close()
+	}
+	e.pools = make(map[string]*minisql.Pool)
+}
+
+// routerResolver adapts the caching DNS resolver but bypasses the cache:
+// the router re-resolves only after invalidating a backend, and must then
+// see the post-failover answer immediately.
+type routerResolver struct{ r *dns.Resolver }
+
+func (rr routerResolver) ResolveOne(name string) (string, error) {
+	rr.r.Flush()
+	return rr.r.ResolveOne(name)
+}
+
+func qosName(i int) string { return fmt.Sprintf("%s%d.%s", qosPrefix, i, Domain) }
+
+func (c *Cluster) qosConfig() qosserver.Config {
+	return qosserver.Config{
+		Addr:               "127.0.0.1:0",
+		Workers:            c.cfg.QoSWorkers,
+		TableKind:          c.cfg.TableKind,
+		DefaultRule:        c.cfg.DefaultRule,
+		RefillInterval:     c.cfg.RefillInterval,
+		SyncInterval:       c.cfg.SyncInterval,
+		CheckpointInterval: c.cfg.CheckpointInterval,
+		Store:              c.Store,
+	}
+}
+
+func (c *Cluster) startQoSPair(i int) (*QoSPair, error) {
+	mcfg := c.qosConfig()
+	if c.cfg.HA {
+		mcfg.ReplicationAddr = "127.0.0.1:0"
+	}
+	master, err := qosserver.New(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	pair := &QoSPair{Name: qosName(i), Master: master}
+	if !c.cfg.HA {
+		c.DNS.SetA(pair.Name, c.cfg.DNSTTL, master.Addr())
+		return pair, nil
+	}
+	slave, err := qosserver.New(c.qosConfig())
+	if err != nil {
+		master.Close()
+		return nil, err
+	}
+	rep := qosserver.NewReplicator(slave, master.ReplicationAddr(), c.cfg.HAInterval)
+	if err := rep.Start(); err != nil {
+		master.Close()
+		slave.Close()
+		return nil, err
+	}
+	pair.Slave = slave
+	pair.Rep = rep
+	masterAddr := master.Addr()
+	c.DNS.SetFailover(pair.Name, c.cfg.DNSTTL, masterAddr, slave.Addr(),
+		func(addr string) bool { return !pair.masterDown.Load() && addr == masterAddr },
+		c.cfg.HAInterval)
+	return pair, nil
+}
+
+// Endpoint returns the HTTP address clients should target: the gateway LB
+// in Gateway mode, or an error sentinel in DNS mode (use Checker, which
+// resolves).
+func (c *Cluster) Endpoint() string {
+	if c.LB != nil {
+		return c.LB.Addr()
+	}
+	return ""
+}
+
+// Checker returns a loadgen.Checker appropriate for the cluster's mode: in
+// Gateway mode it targets the LB; in DNS mode it resolves the cluster
+// domain per the OS caching rules (first address, TTL cache) like a real
+// client.
+func (c *Cluster) Checker() loadgen.Checker {
+	if c.LB != nil {
+		return loadgen.NewHTTPChecker(c.LB.Addr())
+	}
+	resolver := dns.NewResolver(c.DNS)
+	inner := loadgen.NewHTTPChecker("")
+	return loadgen.CheckerFunc(func(key string) (bool, error) {
+		addr, err := resolver.ResolveOne(Domain)
+		if err != nil {
+			return false, err
+		}
+		inner.Endpoint = addr
+		return inner.Check(key)
+	})
+}
+
+// Check performs one admission check through the full stack.
+func (c *Cluster) Check(key string) (bool, error) {
+	return c.Checker().Check(key)
+}
+
+// FailMaster kills QoS master i (simulating a node failure), triggers the
+// DNS failover health check, and promotes the slave. It returns an error
+// when HA is not enabled.
+func (c *Cluster) FailMaster(i int) error {
+	if i < 0 || i >= len(c.QoS) {
+		return fmt.Errorf("cluster: no QoS pair %d", i)
+	}
+	pair := c.QoS[i]
+	if pair.Slave == nil {
+		return fmt.Errorf("cluster: HA not enabled")
+	}
+	pair.masterDown.Store(true) // health check now fails
+	pair.Master.Close()
+	pair.Rep.Stop() // promotion: slave stops pulling, serves warm table
+	if _, err := c.DNS.CheckNow(pair.Name); err != nil {
+		return err
+	}
+	return nil
+}
+
+// AddRouter scales the router layer out by one node and registers it with
+// the front end (the Auto Scaling flow of §V-A).
+func (c *Cluster) AddRouter() (*router.Router, error) {
+	backendNames := make([]string, len(c.QoS))
+	for i := range backendNames {
+		backendNames[i] = qosName(i)
+	}
+	r, err := router.New(router.Config{
+		Addr:         "127.0.0.1:0",
+		Backends:     backendNames,
+		Resolver:     routerResolver{c.Resolver},
+		Transport:    c.cfg.Transport,
+		DefaultReply: c.cfg.DefaultReply,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.Routers = append(c.Routers, r)
+	c.mu.Unlock()
+	c.DNS.AddA(Domain, c.cfg.DNSTTL, r.Addr())
+	if c.LB != nil {
+		c.LB.AddBackend(r.Addr())
+	}
+	return r, nil
+}
+
+// RemoveRouter scales the router layer in by one node (the last added),
+// deregistering it from the front end before shutdown so in-flight traffic
+// drains to the survivors. It refuses to remove the last router.
+func (c *Cluster) RemoveRouter() error {
+	c.mu.Lock()
+	if len(c.Routers) <= 1 {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: cannot remove the last router")
+	}
+	r := c.Routers[len(c.Routers)-1]
+	c.Routers = c.Routers[:len(c.Routers)-1]
+	c.mu.Unlock()
+	c.DNS.RemoveA(Domain, r.Addr())
+	if c.LB != nil {
+		c.LB.RemoveBackend(r.Addr())
+	}
+	return r.Close()
+}
+
+// RouterCount returns the current router-layer width.
+func (c *Cluster) RouterCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.Routers)
+}
+
+// FailDB kills the database master and promotes the standby (DBHA only):
+// the DNS health check flips the record, the standby leaves read-only mode,
+// and subsequent store traffic lands on it.
+func (c *Cluster) FailDB() error {
+	if c.DBStandbyServer == nil {
+		return fmt.Errorf("cluster: DBHA not enabled")
+	}
+	c.DBServer.Close()
+	c.dbReplica.Promote()
+	c.DBStandbyServer.SetReadOnly(false)
+	if _, err := c.DNS.CheckNow(DBName); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TotalDecisions sums admission decisions across all QoS nodes.
+func (c *Cluster) TotalDecisions() int64 {
+	var n int64
+	for _, p := range c.QoS {
+		if p.Master != nil {
+			n += p.Master.Stats().Decisions
+		}
+		if p.Slave != nil {
+			n += p.Slave.Stats().Decisions
+		}
+	}
+	return n
+}
+
+// Close tears the whole deployment down.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	if c.LB != nil {
+		c.LB.Close()
+	}
+	for _, r := range c.Routers {
+		r.Close()
+	}
+	for _, p := range c.QoS {
+		if p.Rep != nil {
+			p.Rep.Stop()
+		}
+		if p.Master != nil {
+			p.Master.Close()
+		}
+		if p.Slave != nil {
+			p.Slave.Close()
+		}
+	}
+	if c.dbPool != nil {
+		c.dbPool.Close()
+	}
+	if c.dbExec != nil {
+		c.dbExec.close()
+	}
+	if c.dbReplica != nil {
+		c.dbReplica.Stop()
+	}
+	if c.DBStandbyServer != nil {
+		c.DBStandbyServer.Close()
+	}
+	if c.DBServer != nil {
+		c.DBServer.Close()
+	}
+	if c.DNS != nil {
+		c.DNS.Close()
+	}
+}

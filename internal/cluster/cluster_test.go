@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bucket"
+	"repro/internal/lb"
+	"repro/internal/loadgen"
+)
+
+func rules(n int, rate, capacity float64) []bucket.Rule {
+	out := make([]bucket.Rule, n)
+	for i := range out {
+		out[i] = bucket.Rule{Key: fmt.Sprintf("user-%d", i), RefillRate: rate, Capacity: capacity, Credit: capacity}
+	}
+	return out
+}
+
+func newCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestGatewayEndToEnd(t *testing.T) {
+	c := newCluster(t, Config{
+		Routers:    2,
+		QoSServers: 2,
+		Rules:      rules(4, 0, 3),
+	})
+	// Each user has 3 credits, no refill.
+	for u := 0; u < 4; u++ {
+		key := fmt.Sprintf("user-%d", u)
+		for i := 0; i < 3; i++ {
+			ok, err := c.Check(key)
+			if err != nil || !ok {
+				t.Fatalf("%s request %d: ok=%v err=%v", key, i, ok, err)
+			}
+		}
+		ok, err := c.Check(key)
+		if err != nil || ok {
+			t.Fatalf("%s over-quota admitted: ok=%v err=%v", key, ok, err)
+		}
+	}
+	if c.TotalDecisions() != 16 {
+		t.Fatalf("decisions = %d", c.TotalDecisions())
+	}
+}
+
+func TestDNSModeEndToEnd(t *testing.T) {
+	c := newCluster(t, Config{
+		Routers:    2,
+		QoSServers: 1,
+		Mode:       DNS,
+		Rules:      rules(1, 0, 2),
+	})
+	if c.Endpoint() != "" {
+		t.Fatal("DNS mode has no LB endpoint")
+	}
+	checker := c.Checker()
+	ok, err := checker.Check("user-0")
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	ok, _ = checker.Check("user-0")
+	if !ok {
+		t.Fatal("second request denied")
+	}
+	ok, _ = checker.Check("user-0")
+	if ok {
+		t.Fatal("third request admitted beyond capacity")
+	}
+}
+
+func TestUnknownKeyUsesDefaultRule(t *testing.T) {
+	c := newCluster(t, Config{
+		DefaultRule: bucket.Rule{RefillRate: 0, Capacity: 1, Credit: 1},
+	})
+	ok, err := c.Check("guest-ip-1.2.3.4")
+	if err != nil || !ok {
+		t.Fatalf("guest first: ok=%v err=%v", ok, err)
+	}
+	ok, _ = c.Check("guest-ip-1.2.3.4")
+	if ok {
+		t.Fatal("guest second admitted beyond default capacity")
+	}
+}
+
+func TestLeastConnectionsPolicy(t *testing.T) {
+	c := newCluster(t, Config{
+		Routers:  2,
+		LBPolicy: lb.LeastConnections,
+		Rules:    rules(1, 1e9, 1e9),
+	})
+	for i := 0; i < 10; i++ {
+		if ok, err := c.Check("user-0"); err != nil || !ok {
+			t.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+func TestRefillAcrossCluster(t *testing.T) {
+	c := newCluster(t, Config{Rules: rules(1, 100, 5)})
+	for i := 0; i < 5; i++ {
+		if ok, _ := c.Check("user-0"); !ok {
+			t.Fatalf("drain %d denied", i)
+		}
+	}
+	if ok, _ := c.Check("user-0"); ok {
+		t.Fatal("admitted with empty bucket")
+	}
+	time.Sleep(50 * time.Millisecond) // ~5 credits at 100/s
+	ok, err := c.Check("user-0")
+	if err != nil || !ok {
+		t.Fatalf("after refill: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestRuleSyncPropagates(t *testing.T) {
+	c := newCluster(t, Config{
+		SyncInterval: 20 * time.Millisecond,
+		Rules:        rules(1, 0, 1),
+	})
+	if ok, _ := c.Check("user-0"); !ok {
+		t.Fatal("first denied")
+	}
+	if ok, _ := c.Check("user-0"); ok {
+		t.Fatal("over quota")
+	}
+	// Upgrade the rule in the database; sync must propagate it.
+	if err := c.Store.Put(bucket.Rule{Key: "user-0", RefillRate: 0, Capacity: 100, Credit: 100}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ok, _ := c.Check("user-0"); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("rule update never propagated")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCheckpointPersistsCredits(t *testing.T) {
+	c := newCluster(t, Config{
+		CheckpointInterval: 20 * time.Millisecond,
+		Rules:              rules(1, 0, 10),
+	})
+	for i := 0; i < 4; i++ {
+		c.Check("user-0")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r, found, err := c.Store.Get("user-0")
+		if err == nil && found && r.Credit == 6 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("checkpoint never landed: %+v", r)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestHAFailover(t *testing.T) {
+	c := newCluster(t, Config{
+		QoSServers: 1,
+		HA:         true,
+		HAInterval: 10 * time.Millisecond,
+		Rules:      rules(1, 0, 10),
+	})
+	// Consume 6 credits on the master, then wait for one replication pull
+	// that strictly follows the consumption.
+	for i := 0; i < 6; i++ {
+		if ok, _ := c.Check("user-0"); !ok {
+			t.Fatalf("drain %d denied", i)
+		}
+	}
+	p0 := c.QoS[0].Rep.Pulls()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.QoS[0].Rep.Pulls() <= p0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no replication pulls after consumption")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := c.FailMaster(0); err != nil {
+		t.Fatal(err)
+	}
+	// The router re-resolves after a timeout; allow a few default replies
+	// before the slave answers with the warm table (4 remaining credits).
+	allowed := 0
+	for i := 0; i < 40 && allowed < 5; i++ {
+		ok, err := c.Check("user-0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			allowed++
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if allowed != 4 {
+		t.Fatalf("slave admitted %d, want 4 (warm credits)", allowed)
+	}
+}
+
+func TestFailMasterErrors(t *testing.T) {
+	c := newCluster(t, Config{})
+	if err := c.FailMaster(0); err == nil {
+		t.Fatal("FailMaster without HA succeeded")
+	}
+	if err := c.FailMaster(99); err == nil {
+		t.Fatal("FailMaster out of range succeeded")
+	}
+}
+
+func TestAddRouterScalesOut(t *testing.T) {
+	c := newCluster(t, Config{Routers: 1, Rules: rules(1, 1e9, 1e9)})
+	r, err := c.AddRouter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.LB.Backends()) != 2 {
+		t.Fatalf("LB backends = %d", len(c.LB.Backends()))
+	}
+	// Round robin now alternates; both routers serve traffic.
+	for i := 0; i < 6; i++ {
+		if ok, err := c.Check("user-0"); err != nil || !ok {
+			t.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+	if r.Stats().Requests == 0 {
+		t.Fatal("new router received no traffic")
+	}
+}
+
+func TestConcurrentLoadThroughCluster(t *testing.T) {
+	c := newCluster(t, Config{
+		Routers:    2,
+		QoSServers: 2,
+		QoSWorkers: 2,
+		Rules:      rules(8, 1e9, 1e9),
+	})
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("user-%d", i)
+	}
+	res := loadgen.RunClosedLoop(context.Background(), loadgen.ClosedLoopConfig{
+		Checker:     c.Checker(),
+		Keys:        loadgen.NewCyclicGen(keys),
+		Concurrency: 8,
+		Requests:    2000,
+	})
+	if res.Errors > 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.Accepted != 2000 {
+		t.Fatalf("accepted = %d", res.Accepted)
+	}
+	if res.Throughput() < 100 {
+		t.Fatalf("throughput = %.0f req/s, suspiciously low", res.Throughput())
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	c := newCluster(t, Config{})
+	c.Close()
+	c.Close()
+}

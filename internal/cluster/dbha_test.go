@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bucket"
+)
+
+// TestDBHAFailover exercises the §III-D Multi-AZ shape end to end: the
+// rules database fails over to its standby and the QoS layer keeps
+// resolving rules for new keys through the promoted node.
+func TestDBHAFailover(t *testing.T) {
+	c := newCluster(t, Config{
+		QoSServers: 1,
+		DBHA:       true,
+		HAInterval: 10 * time.Millisecond,
+		Rules:      rules(4, 0, 2),
+	})
+	// Rule fetch works through the DNS executor against the master.
+	if ok, err := c.Check("user-0"); err != nil || !ok {
+		t.Fatalf("pre-failover: ok=%v err=%v", ok, err)
+	}
+	// Standby must have replicated the seeded rules.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err := c.DBStandbyEngine.Execute(`SELECT COUNT(*) FROM qos_rules`)
+		if err == nil && res.Rows[0][0].AsInt() == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("standby never caught up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := c.FailDB(); err != nil {
+		t.Fatal(err)
+	}
+
+	// New keys resolve their rules from the promoted standby.
+	if ok, err := c.Check("user-1"); err != nil || !ok {
+		t.Fatalf("post-failover new key: ok=%v err=%v", ok, err)
+	}
+	// Writes (checkpoints) also land on the promoted node.
+	c.QoS[0].Master.CheckpointOnce()
+	r, found, err := c.Store.Get("user-1")
+	if err != nil || !found {
+		t.Fatalf("store read after failover: found=%v err=%v", found, err)
+	}
+	if r.Credit != 1 {
+		t.Fatalf("checkpointed credit = %v, want 1", r.Credit)
+	}
+	// Rule management through the facade keeps working.
+	if err := c.Store.Put(bucket.Rule{Key: "new-after-failover", RefillRate: 1, Capacity: 1, Credit: 1}); err != nil {
+		t.Fatalf("rule write after failover: %v", err)
+	}
+}
+
+func TestFailDBWithoutHA(t *testing.T) {
+	c := newCluster(t, Config{})
+	if err := c.FailDB(); err == nil {
+		t.Fatal("FailDB without DBHA succeeded")
+	}
+}
+
+// TestDBHAHealthLoopFlipsAutomatically verifies the background health check
+// (not just CheckNow) performs the failover.
+func TestDBHAHealthLoopFlipsAutomatically(t *testing.T) {
+	c := newCluster(t, Config{
+		DBHA:       true,
+		HAInterval: 10 * time.Millisecond,
+		Rules:      rules(1, 0, 100),
+	})
+	standbyAddr := c.DBStandbyServer.Addr()
+	c.DBServer.Close() // master dies; no explicit CheckNow
+	c.dbReplica.Promote()
+	c.DBStandbyServer.SetReadOnly(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		addrs, _, err := c.DNS.Query(DBName)
+		if err == nil && len(addrs) == 1 && addrs[0] == standbyAddr {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("DNS never flipped to standby: %v %v", addrs, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if ok, err := c.Check("user-0"); err != nil || !ok {
+		t.Fatalf("check after automatic failover: ok=%v err=%v", ok, err)
+	}
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dns"
+	"repro/internal/loadgen"
+)
+
+// TestDNSClientPinnedWithinTTL reproduces the §V-A client-side observation
+// on the real stack: a DNS-mode client caches its resolution, so all its
+// requests within one TTL land on the same router node.
+func TestDNSClientPinnedWithinTTL(t *testing.T) {
+	c := newCluster(t, Config{
+		Routers: 3,
+		Mode:    DNS,
+		DNSTTL:  time.Hour, // effectively permanent for the test
+		Rules:   rules(1, 1e9, 1e9),
+	})
+	// A single client with an OS-style caching resolver.
+	resolver := dns.NewResolver(c.DNS)
+	inner := loadgen.NewHTTPChecker("")
+	for i := 0; i < 30; i++ {
+		addr, err := resolver.ResolveOne(Domain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner.Endpoint = addr
+		if ok, err := inner.Check("user-0"); err != nil || !ok {
+			t.Fatalf("request %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	// Exactly one router saw all the traffic.
+	active := 0
+	for _, r := range c.Routers {
+		if r.Stats().Requests > 0 {
+			active++
+			if r.Stats().Requests != 30 {
+				t.Fatalf("router served %d, want 30", r.Stats().Requests)
+			}
+		}
+	}
+	if active != 1 {
+		t.Fatalf("active routers = %d, want 1 (TTL pinning)", active)
+	}
+}
+
+// TestDNSClientRotatesAfterTTL shows the counterpart: once the TTL expires
+// the client re-resolves and the round-robin answer moves it to the next
+// router.
+func TestDNSClientRotatesAfterTTL(t *testing.T) {
+	c := newCluster(t, Config{
+		Routers: 2,
+		Mode:    DNS,
+		DNSTTL:  time.Nanosecond, // immediate expiry
+		Rules:   rules(1, 1e9, 1e9),
+	})
+	resolver := dns.NewResolver(c.DNS)
+	inner := loadgen.NewHTTPChecker("")
+	for i := 0; i < 20; i++ {
+		addr, err := resolver.ResolveOne(Domain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner.Endpoint = addr
+		if ok, err := inner.Check("user-0"); err != nil || !ok {
+			t.Fatalf("request %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	for i, r := range c.Routers {
+		if r.Stats().Requests != 10 {
+			t.Fatalf("router %d served %d, want 10 (round robin across TTL expiries)", i, r.Stats().Requests)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package des is a deterministic discrete-event simulation engine used to
+// model the full Janus deployment at AWS scale in virtual time (see
+// internal/cloudsim). It provides an event calendar with a binary-heap
+// scheduler, multi-server FIFO service stations with busy-time accounting,
+// and seeded random variates — everything needed to simulate hundreds of
+// thousands of requests per (virtual) second in a few real milliseconds.
+package des
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Time is virtual simulation time in nanoseconds since simulation start.
+type Time int64
+
+// Seconds converts virtual time to seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// FromSeconds converts seconds to virtual time.
+func FromSeconds(s float64) Time { return Time(s * float64(time.Second)) }
+
+// FromDuration converts a wall-clock duration to virtual time.
+func FromDuration(d time.Duration) Time { return Time(d) }
+
+type event struct {
+	at  Time
+	seq int64 // tie-breaker for determinism
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() (Time, bool) {
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].at, true
+}
+
+// Engine is the event calendar. It is strictly single-threaded: all event
+// functions run sequentially in virtual-time order.
+type Engine struct {
+	now    Time
+	seq    int64
+	events eventHeap
+	rng    *rand.Rand
+}
+
+// NewEngine returns an engine with a seeded random source.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d after the current time.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Run executes events in order until the calendar is empty or virtual time
+// reaches until. It returns the number of events executed.
+func (e *Engine) Run(until Time) int {
+	n := 0
+	for len(e.events) > 0 {
+		if e.events[0].at > until {
+			break
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		ev.fn()
+		n++
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Exp draws an exponential variate with the given mean.
+func (e *Engine) Exp(mean Time) Time {
+	if mean <= 0 {
+		return 0
+	}
+	return Time(e.rng.ExpFloat64() * float64(mean))
+}
+
+// Uniform draws a uniform variate in [lo, hi).
+func (e *Engine) Uniform(lo, hi Time) Time {
+	if hi <= lo {
+		return lo
+	}
+	return lo + Time(e.rng.Int63n(int64(hi-lo)))
+}
+
+// Station is a multi-server FIFO queueing station: up to Servers jobs are
+// in service simultaneously; excess jobs wait in arrival order. Service
+// time is supplied per job. Busy time is accounted for utilization
+// reporting.
+type Station struct {
+	eng     *Engine
+	servers int
+	busy    int
+	queue   []job
+
+	// accounting
+	busyTime    Time // integral of busy servers over time
+	lastChange  Time
+	maxQueue    int
+	queueLimit  int // 0 = unbounded
+	served      int64
+	dropped     int64
+	waitTimeSum Time
+}
+
+type job struct {
+	arrived Time
+	service Time
+	done    func()
+}
+
+// NewStation creates a station with the given parallel service slots.
+// queueLimit bounds the waiting room (0 = unbounded); jobs arriving at a
+// full waiting room are dropped (their done callback is not invoked) —
+// matching the QoS server's bounded FIFO.
+func NewStation(eng *Engine, servers, queueLimit int) *Station {
+	if servers < 1 {
+		servers = 1
+	}
+	return &Station{eng: eng, servers: servers, queueLimit: queueLimit}
+}
+
+func (s *Station) account() {
+	now := s.eng.Now()
+	s.busyTime += Time(int64(now-s.lastChange) * int64(s.busy))
+	s.lastChange = now
+}
+
+// Submit offers a job with the given service demand; done runs when service
+// completes. It returns false if the job was dropped at a full queue.
+func (s *Station) Submit(service Time, done func()) bool {
+	s.account()
+	if s.busy < s.servers {
+		s.busy++
+		s.start(job{arrived: s.eng.Now(), service: service, done: done})
+		return true
+	}
+	if s.queueLimit > 0 && len(s.queue) >= s.queueLimit {
+		s.dropped++
+		return false
+	}
+	s.queue = append(s.queue, job{arrived: s.eng.Now(), service: service, done: done})
+	if len(s.queue) > s.maxQueue {
+		s.maxQueue = len(s.queue)
+	}
+	return true
+}
+
+func (s *Station) start(j job) {
+	s.waitTimeSum += s.eng.Now() - j.arrived
+	s.eng.After(j.service, func() {
+		s.account()
+		s.served++
+		if len(s.queue) > 0 {
+			next := s.queue[0]
+			s.queue = s.queue[1:]
+			s.start(next)
+		} else {
+			s.busy--
+		}
+		if j.done != nil {
+			j.done()
+		}
+	})
+}
+
+// Served returns the number of completed jobs.
+func (s *Station) Served() int64 { return s.served }
+
+// Dropped returns the number of jobs rejected at a full queue.
+func (s *Station) Dropped() int64 { return s.dropped }
+
+// MaxQueue returns the high-water mark of the waiting room.
+func (s *Station) MaxQueue() int { return s.maxQueue }
+
+// MeanWait returns the average queueing delay of started jobs.
+func (s *Station) MeanWait() Time {
+	if s.served == 0 {
+		return 0
+	}
+	return Time(int64(s.waitTimeSum) / s.served)
+}
+
+// BusyFraction returns the time-averaged fraction of busy servers since
+// simulation start (0..1).
+func (s *Station) BusyFraction() float64 {
+	s.account()
+	now := s.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(s.busyTime) / (float64(now) * float64(s.servers))
+}
+
+// Utilization returns the time-averaged number of busy servers.
+func (s *Station) Utilization() float64 {
+	return s.BusyFraction() * float64(s.servers)
+}
+
+// InService returns the number of jobs currently being served.
+func (s *Station) InService() int { return s.busy }
+
+// QueueLen returns the current waiting-room occupancy.
+func (s *Station) QueueLen() int { return len(s.queue) }
+
+// Ceil converts a float seconds value to Time, rounding up to 1ns minimum
+// for positive values so zero-length services still order deterministically.
+func Ceil(seconds float64) Time {
+	t := Time(math.Ceil(seconds * float64(time.Second)))
+	if seconds > 0 && t == 0 {
+		t = 1
+	}
+	return t
+}

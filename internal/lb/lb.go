@@ -1,0 +1,306 @@
+// Package lb implements the gateway load balancer (paper §II-A, Fig 1a) —
+// the ELB analogue. It is an HTTP reverse proxy in front of the request
+// router layer: it accepts the QoS client's HTTP request, holds it, opens
+// its own HTTP exchange with a back-end router chosen by the configured
+// policy, and relays the answer. That extra TCP leg is precisely the
+// ~500 µs of additional round-trip latency the paper measures against DNS
+// load balancing in Fig 5.
+//
+// Two routing policies are provided (§II-A): round robin, which hands
+// requests to back ends one by one, and least connections, which picks the
+// back end with the fewest outstanding requests.
+package lb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Policy selects the back-end choice algorithm.
+type Policy string
+
+// Supported policies.
+const (
+	RoundRobin       Policy = "round-robin"
+	LeastConnections Policy = "least-connections"
+)
+
+// Config configures a gateway load balancer.
+type Config struct {
+	// Addr is the HTTP listen address.
+	Addr string
+	// Backends are the initial back-end addresses (request router nodes).
+	Backends []string
+	// Policy is the routing policy (RoundRobin if empty).
+	Policy Policy
+	// HopDelay, when non-nil, is invoked once per proxied request and may
+	// sleep to model the extra network hop of a hardware appliance.
+	HopDelay func()
+	// MaxRetries bounds how many distinct back ends are tried per request
+	// when one fails (default: all).
+	MaxRetries int
+	// Logger receives operational messages; nil discards.
+	Logger *log.Logger
+}
+
+// Stats are cumulative counters for the load balancer.
+type Stats struct {
+	Requests      int64
+	Proxied       int64 // exchanges attempted against back ends
+	BackendErrors int64
+	NoBackends    int64 // requests failed because no back end was usable
+}
+
+type backendState struct {
+	addr        string
+	outstanding metrics.Gauge
+	served      metrics.Counter
+}
+
+// LB is a running gateway load balancer.
+type LB struct {
+	cfg    Config
+	ln     net.Listener
+	server *http.Server
+	client *http.Client
+	logger *log.Logger
+
+	mu       sync.Mutex
+	backends []*backendState
+	rrNext   int
+
+	latency *metrics.Histogram
+
+	requests      metrics.Counter
+	proxied       metrics.Counter
+	backendErrors metrics.Counter
+	noBackends    metrics.Counter
+
+	wg sync.WaitGroup
+}
+
+// New starts a load balancer.
+func New(cfg Config) (*LB, error) {
+	if cfg.Policy == "" {
+		cfg.Policy = RoundRobin
+	}
+	if cfg.Policy != RoundRobin && cfg.Policy != LeastConnections {
+		return nil, fmt.Errorf("lb: unknown policy %q", cfg.Policy)
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("lb: listen %s: %w", cfg.Addr, err)
+	}
+	l := &LB{
+		cfg:     cfg,
+		ln:      ln,
+		logger:  logger,
+		latency: metrics.NewHistogram(),
+		client: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 256,
+				IdleConnTimeout:     30 * time.Second,
+			},
+			Timeout: 10 * time.Second,
+		},
+	}
+	for _, b := range cfg.Backends {
+		l.backends = append(l.backends, &backendState{addr: b})
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", l.proxy)
+	l.server = &http.Server{Handler: mux}
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		l.server.Serve(ln)
+	}()
+	return l, nil
+}
+
+// Addr returns the LB's HTTP endpoint — the Janus service endpoint in the
+// gateway-LB deployment.
+func (l *LB) Addr() string { return l.ln.Addr().String() }
+
+// AddBackend registers a new back-end node (auto-scaling attach).
+func (l *LB) AddBackend(addr string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, b := range l.backends {
+		if b.addr == addr {
+			return
+		}
+	}
+	l.backends = append(l.backends, &backendState{addr: addr})
+}
+
+// RemoveBackend deregisters a back-end node (auto-scaling detach).
+func (l *LB) RemoveBackend(addr string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := l.backends[:0]
+	for _, b := range l.backends {
+		if b.addr != addr {
+			out = append(out, b)
+		}
+	}
+	l.backends = out
+	if len(l.backends) > 0 {
+		l.rrNext %= len(l.backends)
+	} else {
+		l.rrNext = 0
+	}
+}
+
+// Backends returns the current back-end addresses.
+func (l *LB) Backends() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, len(l.backends))
+	for i, b := range l.backends {
+		out[i] = b.addr
+	}
+	return out
+}
+
+// pick chooses a back end per the policy, skipping the given set.
+func (l *LB) pick(skip map[*backendState]bool) *backendState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.backends)
+	if n == 0 {
+		return nil
+	}
+	switch l.cfg.Policy {
+	case LeastConnections:
+		var best *backendState
+		bestOut := int64(math.MaxInt64)
+		for _, b := range l.backends {
+			if skip[b] {
+				continue
+			}
+			if out := b.outstanding.Value(); out < bestOut {
+				best, bestOut = b, out
+			}
+		}
+		return best
+	default: // RoundRobin
+		for i := 0; i < n; i++ {
+			b := l.backends[l.rrNext]
+			l.rrNext = (l.rrNext + 1) % n
+			if !skip[b] {
+				return b
+			}
+		}
+		return nil
+	}
+}
+
+func (l *LB) proxy(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	l.requests.Inc()
+	if l.cfg.HopDelay != nil {
+		l.cfg.HopDelay()
+	}
+	maxTries := l.cfg.MaxRetries
+	if maxTries <= 0 {
+		maxTries = len(l.Backends())
+		if maxTries == 0 {
+			maxTries = 1
+		}
+	}
+	skip := make(map[*backendState]bool, maxTries)
+	var lastErr error
+	for try := 0; try < maxTries; try++ {
+		b := l.pick(skip)
+		if b == nil {
+			break
+		}
+		if err := l.forward(w, req, b); err != nil {
+			lastErr = err
+			l.backendErrors.Inc()
+			skip[b] = true
+			continue
+		}
+		l.latency.RecordDuration(time.Since(start))
+		return
+	}
+	l.noBackends.Inc()
+	if lastErr == nil {
+		lastErr = errors.New("lb: no back ends available")
+	}
+	http.Error(w, lastErr.Error(), http.StatusBadGateway)
+}
+
+// forward performs one proxied exchange against back end b.
+func (l *LB) forward(w http.ResponseWriter, req *http.Request, b *backendState) error {
+	b.outstanding.Add(1)
+	defer b.outstanding.Add(-1)
+	l.proxied.Inc()
+	url := "http://" + b.addr + req.URL.RequestURI()
+	outReq, err := http.NewRequestWithContext(req.Context(), req.Method, url, req.Body)
+	if err != nil {
+		return err
+	}
+	outReq.Header = req.Header.Clone()
+	resp, err := l.client.Do(outReq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b.served.Inc()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return nil
+}
+
+// Stats returns a snapshot of the LB counters.
+func (l *LB) Stats() Stats {
+	return Stats{
+		Requests:      l.requests.Value(),
+		Proxied:       l.proxied.Value(),
+		BackendErrors: l.backendErrors.Value(),
+		NoBackends:    l.noBackends.Value(),
+	}
+}
+
+// ServedPerBackend returns how many requests each back end completed,
+// keyed by address — used to verify workload distribution (§V-A).
+func (l *LB) ServedPerBackend() map[string]int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int64, len(l.backends))
+	for _, b := range l.backends {
+		out[b.addr] = b.served.Value()
+	}
+	return out
+}
+
+// Latency returns the end-to-end proxy latency histogram.
+func (l *LB) Latency() *metrics.Histogram { return l.latency }
+
+// Close shuts the load balancer down.
+func (l *LB) Close() error {
+	err := l.server.Close()
+	l.wg.Wait()
+	l.client.CloseIdleConnections()
+	return err
+}

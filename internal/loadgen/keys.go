@@ -1,0 +1,193 @@
+// Package loadgen contains the workload side of the evaluation (paper §V):
+// key generators reproducing the four QoS-key populations of Fig 6, and a
+// concurrent load generator modelled on the Apache HTTP server benchmarking
+// tool ("ab") that the paper modified to issue massive concurrent QoS
+// requests.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// KeyGen produces a deterministic stream of QoS keys. Implementations are
+// not safe for concurrent use; give each worker its own generator (Clone).
+type KeyGen interface {
+	// Next returns the next key in the stream.
+	Next() string
+	// Clone returns an independent generator with a derived seed, for use
+	// by another worker.
+	Clone(workerID int) KeyGen
+}
+
+// UUIDGen generates random UUIDs in the paper's
+// "xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx" format (Fig 6 population a).
+type UUIDGen struct{ rng *rand.Rand }
+
+// NewUUIDGen returns a seeded UUID generator.
+func NewUUIDGen(seed int64) *UUIDGen { return &UUIDGen{rng: rand.New(rand.NewSource(seed))} }
+
+// Next implements KeyGen.
+func (g *UUIDGen) Next() string {
+	b := make([]byte, 16)
+	g.rng.Read(b)
+	// RFC 4122 version/variant bits, matching real UUID shape.
+	b[6] = (b[6] & 0x0f) | 0x40
+	b[8] = (b[8] & 0x3f) | 0x80
+	return fmt.Sprintf("%08x-%04x-%04x-%04x-%012x",
+		b[0:4], b[4:6], b[6:8], b[8:10], b[10:16])
+}
+
+// Clone implements KeyGen.
+func (g *UUIDGen) Clone(workerID int) KeyGen {
+	return NewUUIDGen(g.rng.Int63() + int64(workerID)*7919)
+}
+
+// TimestampGen generates random date-time strings in the paper's
+// "YYYY-MM-DD-HH-MM-SS" format (Fig 6 population b).
+type TimestampGen struct {
+	rng   *rand.Rand
+	start time.Time
+	span  int64 // seconds
+}
+
+// NewTimestampGen returns timestamps uniform over [2000-01-01, 2030-01-01).
+func NewTimestampGen(seed int64) *TimestampGen {
+	start := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	return &TimestampGen{
+		rng:   rand.New(rand.NewSource(seed)),
+		start: start,
+		span:  int64(end.Sub(start) / time.Second),
+	}
+}
+
+// Next implements KeyGen.
+func (g *TimestampGen) Next() string {
+	t := g.start.Add(time.Duration(g.rng.Int63n(g.span)) * time.Second)
+	return t.Format("2006-01-02-15-04-05")
+}
+
+// Clone implements KeyGen.
+func (g *TimestampGen) Clone(workerID int) KeyGen {
+	return NewTimestampGen(g.rng.Int63() + int64(workerID)*7919)
+}
+
+// WordGen generates unique English-like vocabulary words (Fig 6 population
+// c). The paper draws unique words from the English vocabulary; since no
+// word list ships with the Go standard library, WordGen composes
+// pronounceable words from English syllable inventory — the population has
+// the same character-level statistics that matter to CRC32 (short,
+// lowercase, letter-only strings of varying length).
+type WordGen struct {
+	rng  *rand.Rand
+	seen map[string]bool
+}
+
+var (
+	onsets  = []string{"b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "bl", "br", "ch", "cl", "cr", "dr", "fl", "fr", "gl", "gr", "pl", "pr", "sc", "sh", "sl", "sm", "sn", "sp", "st", "str", "th", "tr", "tw", "wh", ""}
+	vowels  = []string{"a", "e", "i", "o", "u", "ai", "ea", "ee", "oa", "oo", "ou", "ie"}
+	codas   = []string{"", "b", "ck", "d", "f", "g", "l", "ll", "m", "n", "nd", "ng", "nt", "p", "r", "rd", "rn", "s", "ss", "st", "t", "th", "x"}
+	suffixe = []string{"", "", "", "ing", "ed", "er", "ly", "ness", "tion", "able", "s"}
+)
+
+// NewWordGen returns a seeded word generator.
+func NewWordGen(seed int64) *WordGen {
+	return &WordGen{rng: rand.New(rand.NewSource(seed)), seen: make(map[string]bool)}
+}
+
+// Next implements KeyGen; every returned word is unique within a generator.
+func (g *WordGen) Next() string {
+	for {
+		var sb strings.Builder
+		syllables := 1 + g.rng.Intn(3)
+		for i := 0; i < syllables; i++ {
+			sb.WriteString(onsets[g.rng.Intn(len(onsets))])
+			sb.WriteString(vowels[g.rng.Intn(len(vowels))])
+			sb.WriteString(codas[g.rng.Intn(len(codas))])
+		}
+		sb.WriteString(suffixe[g.rng.Intn(len(suffixe))])
+		w := sb.String()
+		if len(w) < 2 || g.seen[w] {
+			continue
+		}
+		g.seen[w] = true
+		return w
+	}
+}
+
+// Clone implements KeyGen.
+func (g *WordGen) Clone(workerID int) KeyGen {
+	return NewWordGen(g.rng.Int63() + int64(workerID)*7919)
+}
+
+// SequentialGen generates sequential numeric keys; the paper's population d
+// runs from 1500000001 to 1500500000.
+type SequentialGen struct{ next int64 }
+
+// NewSequentialGen starts at the paper's first value.
+func NewSequentialGen(start int64) *SequentialGen { return &SequentialGen{next: start} }
+
+// PaperSequentialStart is the first sequential key used in Fig 6.
+const PaperSequentialStart = 1500000001
+
+// Next implements KeyGen.
+func (g *SequentialGen) Next() string {
+	v := g.next
+	g.next++
+	return fmt.Sprintf("%d", v)
+}
+
+// Clone implements KeyGen; workers take strided, disjoint ranges.
+func (g *SequentialGen) Clone(workerID int) KeyGen {
+	return NewSequentialGen(g.next + int64(workerID)*1_000_000)
+}
+
+// FixedGen always returns the same key — the single-client scenarios of the
+// application-integration tests.
+type FixedGen struct{ Key string }
+
+// Next implements KeyGen.
+func (g *FixedGen) Next() string { return g.Key }
+
+// Clone implements KeyGen.
+func (g *FixedGen) Clone(int) KeyGen { return &FixedGen{Key: g.Key} }
+
+// CyclicGen cycles through a fixed key population (used to spread load over
+// a known rule set).
+type CyclicGen struct {
+	keys []string
+	pos  int
+}
+
+// NewCyclicGen cycles over keys.
+func NewCyclicGen(keys []string) *CyclicGen { return &CyclicGen{keys: keys} }
+
+// Next implements KeyGen.
+func (g *CyclicGen) Next() string {
+	k := g.keys[g.pos%len(g.keys)]
+	g.pos++
+	return k
+}
+
+// Clone implements KeyGen.
+func (g *CyclicGen) Clone(workerID int) KeyGen {
+	return &CyclicGen{keys: g.keys, pos: workerID}
+}
+
+// Unique returns n unique keys drawn from gen (for pre-seeding rule
+// databases).
+func Unique(gen KeyGen, n int) []string {
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		k := gen.Next()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package loadgen
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+func TestUUIDGenFormat(t *testing.T) {
+	re := regexp.MustCompile(`^[0-9a-f]{8}-[0-9a-f]{4}-4[0-9a-f]{3}-[89ab][0-9a-f]{3}-[0-9a-f]{12}$`)
+	g := NewUUIDGen(1)
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		u := g.Next()
+		if !re.MatchString(u) {
+			t.Fatalf("bad UUID %q", u)
+		}
+		if seen[u] {
+			t.Fatalf("duplicate UUID %q", u)
+		}
+		seen[u] = true
+	}
+}
+
+func TestUUIDGenDeterministic(t *testing.T) {
+	a, b := NewUUIDGen(7), NewUUIDGen(7)
+	for i := 0; i < 10; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewUUIDGen(8)
+	if NewUUIDGen(7).Next() == c.Next() {
+		t.Fatal("different seeds produced same first value")
+	}
+}
+
+func TestTimestampGenFormat(t *testing.T) {
+	re := regexp.MustCompile(`^\d{4}-\d{2}-\d{2}-\d{2}-\d{2}-\d{2}$`)
+	g := NewTimestampGen(1)
+	for i := 0; i < 1000; i++ {
+		s := g.Next()
+		if !re.MatchString(s) {
+			t.Fatalf("bad timestamp %q", s)
+		}
+		year, _ := strconv.Atoi(s[:4])
+		if year < 2000 || year >= 2030 {
+			t.Fatalf("year out of range: %q", s)
+		}
+	}
+}
+
+func TestWordGenUniqueAndWordLike(t *testing.T) {
+	re := regexp.MustCompile(`^[a-z]{2,}$`)
+	g := NewWordGen(1)
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		w := g.Next()
+		if !re.MatchString(w) {
+			t.Fatalf("non-word key %q", w)
+		}
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestSequentialGen(t *testing.T) {
+	g := NewSequentialGen(PaperSequentialStart)
+	if g.Next() != "1500000001" || g.Next() != "1500000002" {
+		t.Fatal("sequence wrong")
+	}
+}
+
+func TestSequentialCloneDisjoint(t *testing.T) {
+	g := NewSequentialGen(100)
+	c1 := g.Clone(1)
+	c2 := g.Clone(2)
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		for _, k := range []string{c1.Next(), c2.Next()} {
+			if seen[k] {
+				t.Fatalf("clones overlap at %q", k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestFixedGen(t *testing.T) {
+	g := &FixedGen{Key: "1.2.3.4"}
+	if g.Next() != "1.2.3.4" || g.Clone(5).Next() != "1.2.3.4" {
+		t.Fatal("fixed gen broken")
+	}
+}
+
+func TestCyclicGen(t *testing.T) {
+	g := NewCyclicGen([]string{"a", "b", "c"})
+	got := []string{g.Next(), g.Next(), g.Next(), g.Next()}
+	want := []string{"a", "b", "c", "a"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cycle = %v", got)
+		}
+	}
+	c := g.Clone(1)
+	if c.Next() != "b" {
+		t.Fatal("clone did not start at offset")
+	}
+}
+
+func TestUnique(t *testing.T) {
+	keys := Unique(NewUUIDGen(3), 500)
+	if len(keys) != 500 {
+		t.Fatalf("len = %d", len(keys))
+	}
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("duplicate %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestClonesIndependent(t *testing.T) {
+	for name, gen := range map[string]KeyGen{
+		"uuid":      NewUUIDGen(1),
+		"timestamp": NewTimestampGen(1),
+		"word":      NewWordGen(1),
+	} {
+		c1 := gen.Clone(1)
+		c2 := gen.Clone(2)
+		same := 0
+		for i := 0; i < 100; i++ {
+			if c1.Next() == c2.Next() {
+				same++
+			}
+		}
+		if same > 5 {
+			t.Errorf("%s: clones produced %d/100 identical keys", name, same)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// Checker performs one admission check; implementations include the HTTP
+// client (against an LB or a router) and in-process deployments.
+type Checker interface {
+	Check(key string) (allowed bool, err error)
+}
+
+// CheckerFunc adapts a function to Checker.
+type CheckerFunc func(key string) (bool, error)
+
+// Check implements Checker.
+func (f CheckerFunc) Check(key string) (bool, error) { return f(key) }
+
+// HTTPChecker issues GET /qos?key=... against a Janus HTTP endpoint.
+type HTTPChecker struct {
+	// Endpoint is "host:port" of the LB or router.
+	Endpoint string
+	// Client is the underlying HTTP client; nil uses a pooled default.
+	Client *http.Client
+}
+
+// NewHTTPChecker builds a checker with a connection-pooled client.
+func NewHTTPChecker(endpoint string) *HTTPChecker {
+	return &HTTPChecker{
+		Endpoint: endpoint,
+		Client: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 512,
+				IdleConnTimeout:     30 * time.Second,
+			},
+			Timeout: 10 * time.Second,
+		},
+	}
+}
+
+// Check implements Checker.
+func (h *HTTPChecker) Check(key string) (bool, error) {
+	c := h.Client
+	if c == nil {
+		c = http.DefaultClient
+	}
+	resp, err := c.Get("http://" + h.Endpoint + wire.FormatHTTPQuery(wire.Request{Key: key, Cost: 1}))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("loadgen: HTTP %d: %s", resp.StatusCode, body)
+	}
+	return wire.ParseHTTPBody(string(body))
+}
+
+// Result aggregates one load-generation run.
+type Result struct {
+	// Latency is the per-request round-trip histogram (nanoseconds).
+	Latency *metrics.Histogram
+	// AcceptedLatency / RejectedLatency split by verdict (Fig 13b).
+	AcceptedLatency *metrics.Histogram
+	RejectedLatency *metrics.Histogram
+	// Accepted/Rejected/Errors count outcomes.
+	Accepted int64
+	Rejected int64
+	Errors   int64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// AcceptedSeries/RejectedSeries are per-second rate traces (Fig 13a);
+	// nil unless requested.
+	AcceptedSeries *metrics.TimeSeries
+	RejectedSeries *metrics.TimeSeries
+}
+
+// Throughput returns completed (non-error) requests per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Accepted+r.Rejected) / r.Elapsed.Seconds()
+}
+
+// ClosedLoopConfig drives N concurrent workers, each issuing its next
+// request as soon as the previous completes — ab's concurrency model.
+type ClosedLoopConfig struct {
+	// Checker is the system under test.
+	Checker Checker
+	// Keys generates the key stream (each worker gets a Clone).
+	Keys KeyGen
+	// Concurrency is the number of workers (ab -c).
+	Concurrency int
+	// Requests is the total number of requests (ab -n); 0 means run until
+	// Duration elapses.
+	Requests int64
+	// Duration bounds the run when Requests is 0.
+	Duration time.Duration
+	// TrackSeries enables per-second accepted/rejected traces.
+	TrackSeries bool
+}
+
+// RunClosedLoop executes a closed-loop benchmark run.
+func RunClosedLoop(ctx context.Context, cfg ClosedLoopConfig) Result {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	res := Result{
+		Latency:         metrics.NewHistogram(),
+		AcceptedLatency: metrics.NewHistogram(),
+		RejectedLatency: metrics.NewHistogram(),
+	}
+	start := time.Now()
+	if cfg.TrackSeries {
+		res.AcceptedSeries = metrics.NewTimeSeries(start, time.Second)
+		res.RejectedSeries = metrics.NewTimeSeries(start, time.Second)
+	}
+	var remaining int64 = cfg.Requests
+	var remMu sync.Mutex
+	take := func() bool {
+		if cfg.Requests == 0 {
+			return true
+		}
+		remMu.Lock()
+		defer remMu.Unlock()
+		if remaining <= 0 {
+			return false
+		}
+		remaining--
+		return true
+	}
+	deadline := time.Time{}
+	if cfg.Requests == 0 {
+		d := cfg.Duration
+		if d <= 0 {
+			d = time.Second
+		}
+		deadline = start.Add(d)
+	}
+
+	var accepted, rejected, errors metrics.Counter
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			keys := cfg.Keys.Clone(w)
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				if !take() {
+					return
+				}
+				key := keys.Next()
+				t0 := time.Now()
+				ok, err := cfg.Checker.Check(key)
+				lat := time.Since(t0)
+				if err != nil {
+					errors.Inc()
+					continue
+				}
+				res.Latency.RecordDuration(lat)
+				if ok {
+					accepted.Inc()
+					res.AcceptedLatency.RecordDuration(lat)
+					if res.AcceptedSeries != nil {
+						res.AcceptedSeries.Observe(time.Now(), 1)
+					}
+				} else {
+					rejected.Inc()
+					res.RejectedLatency.RecordDuration(lat)
+					if res.RejectedSeries != nil {
+						res.RejectedSeries.Observe(time.Now(), 1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Accepted = accepted.Value()
+	res.Rejected = rejected.Value()
+	res.Errors = errors.Value()
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// OpenLoopConfig paces requests at a target rate independent of response
+// latency — the Fig 13a client ("an access rate of 130 requests per second,
+// with an intentionally added noise").
+type OpenLoopConfig struct {
+	Checker Checker
+	Keys    KeyGen
+	// Rate is the average request rate per second.
+	Rate float64
+	// NoiseFraction perturbs each inter-arrival gap uniformly by
+	// ±NoiseFraction (0 disables; the paper adds intentional noise).
+	NoiseFraction float64
+	// Duration is the run length.
+	Duration time.Duration
+	// Workers issues requests concurrently so a slow response does not
+	// stall the pacing (default 8).
+	Workers int
+	// Seed seeds the noise source.
+	Seed int64
+	// TrackSeries enables per-second accepted/rejected traces.
+	TrackSeries bool
+}
+
+// RunOpenLoop executes a paced benchmark run.
+func RunOpenLoop(ctx context.Context, cfg OpenLoopConfig) Result {
+	if cfg.Rate <= 0 {
+		cfg.Rate = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	res := Result{
+		Latency:         metrics.NewHistogram(),
+		AcceptedLatency: metrics.NewHistogram(),
+		RejectedLatency: metrics.NewHistogram(),
+	}
+	start := time.Now()
+	if cfg.TrackSeries {
+		res.AcceptedSeries = metrics.NewTimeSeries(start, time.Second)
+		res.RejectedSeries = metrics.NewTimeSeries(start, time.Second)
+	}
+	var accepted, rejected, errors metrics.Counter
+
+	jobs := make(chan string, cfg.Workers*4)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for key := range jobs {
+				t0 := time.Now()
+				ok, err := cfg.Checker.Check(key)
+				lat := time.Since(t0)
+				if err != nil {
+					errors.Inc()
+					continue
+				}
+				res.Latency.RecordDuration(lat)
+				if ok {
+					accepted.Inc()
+					res.AcceptedLatency.RecordDuration(lat)
+					if res.AcceptedSeries != nil {
+						res.AcceptedSeries.Observe(time.Now(), 1)
+					}
+				} else {
+					rejected.Inc()
+					res.RejectedLatency.RecordDuration(lat)
+					if res.RejectedSeries != nil {
+						res.RejectedSeries.Observe(time.Now(), 1)
+					}
+				}
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	keys := cfg.Keys
+	gap := time.Duration(float64(time.Second) / cfg.Rate)
+	deadline := start.Add(cfg.Duration)
+	next := start
+pacing:
+	for time.Now().Before(deadline) {
+		if ctx.Err() != nil {
+			break
+		}
+		jitter := 1.0
+		if cfg.NoiseFraction > 0 {
+			jitter = 1 + (rng.Float64()*2-1)*cfg.NoiseFraction
+		}
+		next = next.Add(time.Duration(float64(gap) * jitter))
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				break pacing
+			}
+		}
+		select {
+		case jobs <- keys.Next():
+		default:
+			// All workers busy and the queue is full: the request is
+			// effectively dropped by the client, as ab does under overload.
+			errors.Inc()
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	res.Accepted = accepted.Value()
+	res.Rejected = rejected.Value()
+	res.Errors = errors.Value()
+	res.Elapsed = time.Since(start)
+	return res
+}

@@ -1,0 +1,55 @@
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FromSpec builds a key generator from a textual specification, as used by
+// the janus-ab command line:
+//
+//	uuid            random UUIDs (Fig 6 population a)
+//	timestamp       random date-time strings (population b)
+//	words           unique English-like words (population c)
+//	seq             sequential numbers from the paper's start (population d)
+//	seq:N           sequential numbers from N
+//	fixed:K         the single key K
+//	cycle:a,b,c     cycle through the listed keys
+func FromSpec(spec string, seed int64) (KeyGen, error) {
+	switch {
+	case spec == "uuid":
+		return NewUUIDGen(seed), nil
+	case spec == "timestamp":
+		return NewTimestampGen(seed), nil
+	case spec == "words":
+		return NewWordGen(seed), nil
+	case spec == "seq":
+		return NewSequentialGen(PaperSequentialStart), nil
+	case strings.HasPrefix(spec, "seq:"):
+		var start int64
+		if _, err := fmt.Sscanf(spec, "seq:%d", &start); err != nil {
+			return nil, fmt.Errorf("loadgen: bad seq spec %q", spec)
+		}
+		return NewSequentialGen(start), nil
+	case strings.HasPrefix(spec, "fixed:"):
+		key := strings.TrimPrefix(spec, "fixed:")
+		if key == "" {
+			return nil, fmt.Errorf("loadgen: empty fixed key")
+		}
+		return &FixedGen{Key: key}, nil
+	case strings.HasPrefix(spec, "cycle:"):
+		keys := strings.Split(strings.TrimPrefix(spec, "cycle:"), ",")
+		clean := keys[:0]
+		for _, k := range keys {
+			if k != "" {
+				clean = append(clean, k)
+			}
+		}
+		if len(clean) == 0 {
+			return nil, fmt.Errorf("loadgen: empty cycle list")
+		}
+		return NewCyclicGen(clean), nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown key spec %q (uuid|timestamp|words|seq[:N]|fixed:K|cycle:a,b,c)", spec)
+	}
+}

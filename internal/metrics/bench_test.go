@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i) * 997 % 10_000_000)
+	}
+}
+
+func BenchmarkHistogramRecordParallel(b *testing.B) {
+	h := NewHistogram()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			h.Record(i * 997 % 10_000_000)
+			i++
+		}
+	})
+}
+
+func BenchmarkHistogramQuantile(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < 100000; i++ {
+		h.Record(int64(i) * 31 % 5_000_000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Percentile(99)
+	}
+}
+
+func BenchmarkBucketAllowViaHistogramClock(b *testing.B) {
+	// Combined hot path cost: time read + record, the measurement overhead
+	// embedded in every worker decision.
+	h := NewHistogram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		h.RecordDuration(time.Since(t0))
+	}
+}

@@ -1,0 +1,172 @@
+package minisql
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Client is a connection to a minisql server. It serializes requests over a
+// single TCP connection; use Pool for concurrency.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a minisql server.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 5*time.Second)
+}
+
+// DialTimeout connects with a dial timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("minisql: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Execute runs one statement on the server.
+func (c *Client) Execute(sql string, args ...Value) (Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return Result{}, errors.New("minisql: client is closed")
+	}
+	if err := c.enc.Encode(&frame{Type: frameQuery, SQL: sql, Args: args}); err != nil {
+		c.closeLocked()
+		return Result{}, fmt.Errorf("minisql: send: %w", err)
+	}
+	var f frame
+	if err := c.dec.Decode(&f); err != nil {
+		c.closeLocked()
+		return Result{}, fmt.Errorf("minisql: recv: %w", err)
+	}
+	if f.Type != frameResult {
+		c.closeLocked()
+		return Result{}, fmt.Errorf("minisql: unexpected frame type %d", f.Type)
+	}
+	if f.Err != "" {
+		return Result{}, errors.New(f.Err)
+	}
+	return f.Result, nil
+}
+
+// Ping checks liveness; it returns whether the remote node currently accepts
+// writes (i.e. believes itself master).
+func (c *Client) Ping() (serving bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return false, errors.New("minisql: client is closed")
+	}
+	if err := c.enc.Encode(&frame{Type: framePing}); err != nil {
+		c.closeLocked()
+		return false, err
+	}
+	var f frame
+	if err := c.dec.Decode(&f); err != nil {
+		c.closeLocked()
+		return false, err
+	}
+	if f.Type != framePong {
+		c.closeLocked()
+		return false, fmt.Errorf("minisql: unexpected frame type %d", f.Type)
+	}
+	return f.Serving, nil
+}
+
+func (c *Client) closeLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Close releases the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closeLocked()
+	return nil
+}
+
+// Pool is a fixed-size pool of client connections to one server, suitable
+// for concurrent callers.
+type Pool struct {
+	addr    string
+	clients chan *Client
+	size    int
+	mu      sync.Mutex
+	closed  bool
+}
+
+// NewPool creates a pool of size lazily dialed connections.
+func NewPool(addr string, size int) *Pool {
+	if size <= 0 {
+		size = 4
+	}
+	p := &Pool{addr: addr, clients: make(chan *Client, size), size: size}
+	for i := 0; i < size; i++ {
+		p.clients <- nil // lazy slot
+	}
+	return p
+}
+
+// Execute borrows a connection, runs the statement, and returns the
+// connection to the pool. Broken connections are re-dialed on next use.
+func (p *Pool) Execute(sql string, args ...Value) (Result, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return Result{}, errors.New("minisql: pool is closed")
+	}
+	p.mu.Unlock()
+	c := <-p.clients
+	if c == nil {
+		var err error
+		c, err = Dial(p.addr)
+		if err != nil {
+			p.clients <- nil
+			return Result{}, err
+		}
+	}
+	res, err := c.Execute(sql, args...)
+	if err != nil && isConnError(err) {
+		c.Close()
+		p.clients <- nil
+		return res, err
+	}
+	p.clients <- c
+	return res, err
+}
+
+func isConnError(err error) bool {
+	s := err.Error()
+	return errors.Is(err, net.ErrClosed) ||
+		strings.Contains(s, "minisql: send") || strings.Contains(s, "minisql: recv") ||
+		strings.Contains(s, "client is closed")
+}
+
+// Close closes all pooled connections.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	for i := 0; i < p.size; i++ {
+		if c := <-p.clients; c != nil {
+			c.Close()
+		}
+	}
+}

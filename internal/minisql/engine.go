@@ -1,0 +1,580 @@
+package minisql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Result is the outcome of executing a statement.
+type Result struct {
+	// Columns names the result columns of a SELECT.
+	Columns []string
+	// Rows holds the result rows of a SELECT.
+	Rows [][]Value
+	// Affected counts rows written by INSERT/UPDATE/DELETE.
+	Affected int64
+}
+
+// Engine is an in-memory SQL database. All methods are safe for concurrent
+// use; statements execute atomically with respect to each other.
+type Engine struct {
+	mu     sync.RWMutex
+	tables map[string]*tableData
+
+	cacheMu   sync.RWMutex
+	stmtCache map[string]Statement
+
+	journalMu sync.Mutex
+	journal   func(sql string, args []Value)
+
+	// writeMu serializes write statements so the journal order matches the
+	// order writes were applied — required for statement-shipping
+	// replication to converge. Reads are unaffected.
+	writeMu sync.Mutex
+}
+
+type tableData struct {
+	mu      sync.RWMutex
+	name    string
+	schema  []ColumnDef
+	colIdx  map[string]int
+	pkCol   int // -1 when the table has no primary key
+	rows    [][]Value
+	pkIndex map[Value]int // primary-key value -> index into rows
+}
+
+// NewEngine returns an empty database.
+func NewEngine() *Engine {
+	return &Engine{
+		tables:    make(map[string]*tableData),
+		stmtCache: make(map[string]Statement),
+	}
+}
+
+// SetJournal installs a hook invoked after every successful write statement
+// with the original SQL and bound arguments. Used for statement-shipping
+// replication. Pass nil to disable.
+func (e *Engine) SetJournal(fn func(sql string, args []Value)) {
+	e.journalMu.Lock()
+	e.journal = fn
+	e.journalMu.Unlock()
+}
+
+func (e *Engine) emitJournal(sql string, args []Value) {
+	e.journalMu.Lock()
+	fn := e.journal
+	e.journalMu.Unlock()
+	if fn != nil {
+		fn(sql, args)
+	}
+}
+
+// parseCached parses sql, memoizing the AST. Statements are immutable after
+// parse (placeholders are bound into copies), so sharing is safe.
+func (e *Engine) parseCached(sql string) (Statement, error) {
+	e.cacheMu.RLock()
+	st, ok := e.stmtCache[sql]
+	e.cacheMu.RUnlock()
+	if ok {
+		return st, nil
+	}
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	e.cacheMu.Lock()
+	// Bound growth: an adversarial unique-statement stream must not leak.
+	if len(e.stmtCache) > 4096 {
+		e.stmtCache = make(map[string]Statement)
+	}
+	e.stmtCache[sql] = st
+	e.cacheMu.Unlock()
+	return st, nil
+}
+
+// Execute parses and runs one statement with the given placeholder values.
+func (e *Engine) Execute(sql string, args ...Value) (Result, error) {
+	st, err := e.parseCached(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	if _, isSelect := st.(SelectStmt); !isSelect {
+		e.writeMu.Lock()
+		defer e.writeMu.Unlock()
+	}
+	res, wrote, err := e.exec(st, args)
+	if err != nil {
+		return Result{}, err
+	}
+	if wrote {
+		e.emitJournal(sql, args)
+	}
+	return res, nil
+}
+
+// bind resolves an expression against the placeholder argument list.
+func bind(ex Expr, args []Value, next *int) (Value, error) {
+	if !ex.Placeholder {
+		return ex.Value, nil
+	}
+	if *next >= len(args) {
+		return Value{}, fmt.Errorf("minisql: not enough arguments: need more than %d", len(args))
+	}
+	v := args[*next]
+	*next++
+	return v, nil
+}
+
+func bindConds(conds []Cond, args []Value, next *int) ([]boundCond, error) {
+	out := make([]boundCond, len(conds))
+	for i, c := range conds {
+		v, err := bind(c.Expr, args, next)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = boundCond{Column: c.Column, Op: c.Op, Value: v}
+	}
+	return out, nil
+}
+
+type boundCond struct {
+	Column string
+	Op     CondOp
+	Value  Value
+}
+
+func (c boundCond) matches(v Value) bool {
+	cmp := Compare(v, c.Value)
+	switch c.Op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+func (e *Engine) exec(st Statement, args []Value) (Result, bool, error) {
+	switch s := st.(type) {
+	case CreateTableStmt:
+		err := e.createTable(s)
+		return Result{}, err == nil, err
+	case DropTableStmt:
+		err := e.dropTable(s)
+		return Result{}, err == nil, err
+	case InsertStmt:
+		n, err := e.insert(s, args)
+		return Result{Affected: n}, err == nil && n > 0, err
+	case SelectStmt:
+		res, err := e.selectRows(s, args)
+		return res, false, err
+	case UpdateStmt:
+		n, err := e.update(s, args)
+		return Result{Affected: n}, err == nil && n > 0, err
+	case DeleteStmt:
+		n, err := e.deleteRows(s, args)
+		return Result{Affected: n}, err == nil && n > 0, err
+	default:
+		return Result{}, false, fmt.Errorf("minisql: unsupported statement %T", st)
+	}
+}
+
+func (e *Engine) getTable(name string) (*tableData, error) {
+	e.mu.RLock()
+	t := e.tables[strings.ToLower(name)]
+	e.mu.RUnlock()
+	if t == nil {
+		return nil, fmt.Errorf("minisql: no such table %q", name)
+	}
+	return t, nil
+}
+
+func (e *Engine) createTable(s CreateTableStmt) error {
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("minisql: table %q has no columns", s.Name)
+	}
+	t := &tableData{
+		name:    strings.ToLower(s.Name),
+		schema:  s.Columns,
+		colIdx:  make(map[string]int, len(s.Columns)),
+		pkCol:   -1,
+		pkIndex: make(map[Value]int),
+	}
+	for i, c := range s.Columns {
+		lc := strings.ToLower(c.Name)
+		if _, dup := t.colIdx[lc]; dup {
+			return fmt.Errorf("minisql: duplicate column %q", c.Name)
+		}
+		t.colIdx[lc] = i
+		if c.PrimaryKey {
+			if t.pkCol >= 0 {
+				return fmt.Errorf("minisql: multiple primary keys in %q", s.Name)
+			}
+			t.pkCol = i
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, exists := e.tables[t.name]; exists {
+		if s.IfNotExists {
+			return nil
+		}
+		return fmt.Errorf("minisql: table %q already exists", s.Name)
+	}
+	e.tables[t.name] = t
+	return nil
+}
+
+func (e *Engine) dropTable(s DropTableStmt) error {
+	name := strings.ToLower(s.Name)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.tables[name]; !ok {
+		if s.IfExists {
+			return nil
+		}
+		return fmt.Errorf("minisql: no such table %q", s.Name)
+	}
+	delete(e.tables, name)
+	return nil
+}
+
+// columnPositions maps stated insert columns to schema positions; an empty
+// column list means "all columns in schema order".
+func (t *tableData) columnPositions(cols []string) ([]int, error) {
+	if len(cols) == 0 {
+		pos := make([]int, len(t.schema))
+		for i := range pos {
+			pos[i] = i
+		}
+		return pos, nil
+	}
+	pos := make([]int, len(cols))
+	for i, c := range cols {
+		idx, ok := t.colIdx[strings.ToLower(c)]
+		if !ok {
+			return nil, fmt.Errorf("minisql: no column %q in table %q", c, t.name)
+		}
+		pos[i] = idx
+	}
+	return pos, nil
+}
+
+func (e *Engine) insert(s InsertStmt, args []Value) (int64, error) {
+	t, err := e.getTable(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	next := 0
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pos, err := t.columnPositions(s.Columns)
+	if err != nil {
+		return 0, err
+	}
+	var affected int64
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(pos) {
+			return affected, fmt.Errorf("minisql: row has %d values, want %d", len(exprRow), len(pos))
+		}
+		row := make([]Value, len(t.schema))
+		for i := range row {
+			row[i] = Null()
+		}
+		for i, ex := range exprRow {
+			v, err := bind(ex, args, &next)
+			if err != nil {
+				return affected, err
+			}
+			cv, err := coerce(v, t.schema[pos[i]].Kind)
+			if err != nil {
+				return affected, err
+			}
+			row[pos[i]] = cv
+		}
+		if t.pkCol >= 0 {
+			pk := row[t.pkCol]
+			if pk.IsNull() {
+				return affected, fmt.Errorf("minisql: NULL primary key in table %q", t.name)
+			}
+			if existing, dup := t.pkIndex[pk]; dup {
+				if !s.Replace {
+					return affected, fmt.Errorf("minisql: duplicate primary key %s in table %q", pk, t.name)
+				}
+				t.rows[existing] = row
+				affected++
+				continue
+			}
+			t.pkIndex[pk] = len(t.rows)
+		}
+		t.rows = append(t.rows, row)
+		affected++
+	}
+	return affected, nil
+}
+
+// candidateRows returns the indexes of rows matching the bound conditions,
+// using the PK index when a `pk = v` term is present (the Janus fast path).
+func (t *tableData) candidateRows(conds []boundCond) ([]int, error) {
+	for _, c := range conds {
+		idx, ok := t.colIdx[strings.ToLower(c.Column)]
+		if !ok {
+			return nil, fmt.Errorf("minisql: no column %q in table %q", c.Column, t.name)
+		}
+		if c.Op == OpEq && idx == t.pkCol {
+			cv, err := coerce(c.Value, t.schema[idx].Kind)
+			if err != nil {
+				return []int{}, nil // un-coercible value matches nothing
+			}
+			ri, found := t.pkIndex[cv]
+			if !found {
+				return []int{}, nil
+			}
+			if t.rowMatches(ri, conds) {
+				return []int{ri}, nil
+			}
+			return []int{}, nil
+		}
+	}
+	var out []int
+	for i := range t.rows {
+		if t.rowMatches(i, conds) {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+func (t *tableData) rowMatches(ri int, conds []boundCond) bool {
+	for _, c := range conds {
+		idx := t.colIdx[strings.ToLower(c.Column)]
+		if !c.matches(t.rows[ri][idx]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *tableData) validateConds(conds []boundCond) error {
+	for _, c := range conds {
+		if _, ok := t.colIdx[strings.ToLower(c.Column)]; !ok {
+			return fmt.Errorf("minisql: no column %q in table %q", c.Column, t.name)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) selectRows(s SelectStmt, args []Value) (Result, error) {
+	t, err := e.getTable(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	next := 0
+	conds, err := bindConds(s.Where, args, &next)
+	if err != nil {
+		return Result{}, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if err := t.validateConds(conds); err != nil {
+		return Result{}, err
+	}
+	idxs, err := t.candidateRows(conds)
+	if err != nil {
+		return Result{}, err
+	}
+	if s.Count {
+		return Result{Columns: []string{"count"}, Rows: [][]Value{{Int(int64(len(idxs)))}}}, nil
+	}
+
+	// Projection.
+	proj := make([]int, 0, len(t.schema))
+	var cols []string
+	if len(s.Columns) == 0 {
+		for i, c := range t.schema {
+			proj = append(proj, i)
+			cols = append(cols, c.Name)
+		}
+	} else {
+		for _, c := range s.Columns {
+			idx, ok := t.colIdx[strings.ToLower(c)]
+			if !ok {
+				return Result{}, fmt.Errorf("minisql: no column %q in table %q", c, t.name)
+			}
+			proj = append(proj, idx)
+			cols = append(cols, t.schema[idx].Name)
+		}
+	}
+
+	if s.Order != nil {
+		oi, ok := t.colIdx[strings.ToLower(s.Order.Column)]
+		if !ok {
+			return Result{}, fmt.Errorf("minisql: no column %q in table %q", s.Order.Column, t.name)
+		}
+		sort.SliceStable(idxs, func(a, b int) bool {
+			cmp := Compare(t.rows[idxs[a]][oi], t.rows[idxs[b]][oi])
+			if s.Order.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		})
+	}
+	if s.Limit >= 0 && len(idxs) > s.Limit {
+		idxs = idxs[:s.Limit]
+	}
+
+	out := make([][]Value, 0, len(idxs))
+	for _, ri := range idxs {
+		row := make([]Value, len(proj))
+		for i, ci := range proj {
+			row[i] = t.rows[ri][ci]
+		}
+		out = append(out, row)
+	}
+	return Result{Columns: cols, Rows: out}, nil
+}
+
+func (e *Engine) update(s UpdateStmt, args []Value) (int64, error) {
+	t, err := e.getTable(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	// Bind SET expressions first (placeholder order: SET then WHERE).
+	next := 0
+	type setVal struct {
+		col int
+		val Value
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sets := make([]setVal, 0, len(s.Sets))
+	for _, sv := range s.Sets {
+		idx, ok := t.colIdx[strings.ToLower(sv.Column)]
+		if !ok {
+			return 0, fmt.Errorf("minisql: no column %q in table %q", sv.Column, t.name)
+		}
+		v, err := bind(sv.Expr, args, &next)
+		if err != nil {
+			return 0, err
+		}
+		cv, err := coerce(v, t.schema[idx].Kind)
+		if err != nil {
+			return 0, err
+		}
+		sets = append(sets, setVal{idx, cv})
+	}
+	conds, err := bindConds(s.Where, args, &next)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.validateConds(conds); err != nil {
+		return 0, err
+	}
+	idxs, err := t.candidateRows(conds)
+	if err != nil {
+		return 0, err
+	}
+	var affected int64
+	for _, ri := range idxs {
+		for _, sv := range sets {
+			if sv.col == t.pkCol {
+				old := t.rows[ri][t.pkCol]
+				if !Equal(old, sv.val) {
+					if _, dup := t.pkIndex[sv.val]; dup {
+						return affected, fmt.Errorf("minisql: duplicate primary key %s", sv.val)
+					}
+					delete(t.pkIndex, old)
+					t.pkIndex[sv.val] = ri
+				}
+			}
+			t.rows[ri][sv.col] = sv.val
+		}
+		affected++
+	}
+	return affected, nil
+}
+
+func (e *Engine) deleteRows(s DeleteStmt, args []Value) (int64, error) {
+	t, err := e.getTable(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	next := 0
+	conds, err := bindConds(s.Where, args, &next)
+	if err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.validateConds(conds); err != nil {
+		return 0, err
+	}
+	idxs, err := t.candidateRows(conds)
+	if err != nil {
+		return 0, err
+	}
+	// Delete from the highest index down so swap-removal does not disturb
+	// earlier candidates.
+	sort.Sort(sort.Reverse(sort.IntSlice(idxs)))
+	for _, ri := range idxs {
+		last := len(t.rows) - 1
+		if t.pkCol >= 0 {
+			delete(t.pkIndex, t.rows[ri][t.pkCol])
+		}
+		if ri != last {
+			t.rows[ri] = t.rows[last]
+			if t.pkCol >= 0 {
+				t.pkIndex[t.rows[ri][t.pkCol]] = ri
+			}
+		}
+		t.rows = t.rows[:last]
+	}
+	return int64(len(idxs)), nil
+}
+
+// TableNames returns the names of all tables, sorted.
+func (e *Engine) TableNames() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Schema returns the column definitions of a table.
+func (e *Engine) Schema(table string) ([]ColumnDef, error) {
+	t, err := e.getTable(table)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]ColumnDef, len(t.schema))
+	copy(out, t.schema)
+	return out, nil
+}
+
+// RowCount returns the number of rows in a table.
+func (e *Engine) RowCount(table string) (int, error) {
+	t, err := e.getTable(table)
+	if err != nil {
+		return 0, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows), nil
+}

@@ -1,0 +1,56 @@
+package minisql
+
+import "testing"
+
+// FuzzParse: the SQL parser must never panic and must either return a
+// statement or an error, never both nil.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT * FROM qos_rules WHERE key = ?",
+		"CREATE TABLE t (a INT PRIMARY KEY, b TEXT)",
+		"INSERT INTO t VALUES (1, 'x''y'), (?, NULL)",
+		"REPLACE INTO qos_rules VALUES (?, ?, ?, ?)",
+		"UPDATE t SET a = 1, b = 'z' WHERE a >= -3 AND b <> 'q'",
+		"DELETE FROM t WHERE a <= 3.5e2",
+		"SELECT COUNT(*) FROM `weird table` ORDER BY a DESC LIMIT 10;",
+		"select key from qos_rules",
+		"'unterminated",
+		"SELECT * FROM t WHERE a = $1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		st, err := Parse(sql)
+		if err == nil && st == nil {
+			t.Fatal("nil statement with nil error")
+		}
+	})
+}
+
+// FuzzExecute: executing arbitrary SQL against a live engine must never
+// panic or corrupt the PK index (checked via a follow-up point query).
+func FuzzExecute(f *testing.F) {
+	f.Add("INSERT INTO qos_rules VALUES ('a', 1, 2, 3)")
+	f.Add("SELECT * FROM qos_rules")
+	f.Add("DELETE FROM qos_rules WHERE key = 'a'")
+	f.Add("DROP TABLE qos_rules")
+	f.Fuzz(func(t *testing.T, sql string) {
+		e := NewEngine()
+		if _, err := e.Execute(`CREATE TABLE qos_rules (key TEXT PRIMARY KEY, refill_rate FLOAT, capacity FLOAT, credit FLOAT)`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Execute(`INSERT INTO qos_rules VALUES ('seed', 1, 2, 3)`); err != nil {
+			t.Fatal(err)
+		}
+		e.Execute(sql) // outcome irrelevant; must not panic
+		// Index integrity: if the table still exists, the seed row is
+		// either present with consistent values or deleted.
+		res, err := e.Execute(`SELECT refill_rate FROM qos_rules WHERE key = 'seed'`)
+		if err != nil {
+			return // table dropped by the fuzz input
+		}
+		if len(res.Rows) > 1 {
+			t.Fatalf("PK index corrupted: %d rows for one key", len(res.Rows))
+		}
+	})
+}

@@ -1,0 +1,184 @@
+package minisql
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or a generous deadline expires.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never satisfied")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Model-based test: a long random stream of INSERT/REPLACE/UPDATE/DELETE/
+// SELECT against the engine must agree with a plain Go map model at every
+// step. This is the strongest single check on the storage engine + PK
+// index interplay (swap-deletes, upserts, coerced keys).
+
+type modelRow struct {
+	rate, capacity, credit float64
+}
+
+func TestEngineAgreesWithMapModel(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Execute(`CREATE TABLE qos_rules (key TEXT PRIMARY KEY, refill_rate FLOAT, capacity FLOAT, credit FLOAT)`); err != nil {
+		t.Fatal(err)
+	}
+	model := map[string]modelRow{}
+	rng := rand.New(rand.NewSource(2024))
+	keyOf := func() string { return fmt.Sprintf("k%d", rng.Intn(200)) }
+
+	for step := 0; step < 20000; step++ {
+		k := keyOf()
+		switch rng.Intn(6) {
+		case 0: // INSERT (may conflict)
+			r := modelRow{float64(rng.Intn(100)), float64(rng.Intn(1000)), float64(rng.Intn(1000))}
+			_, err := e.Execute(`INSERT INTO qos_rules VALUES (?, ?, ?, ?)`,
+				Text(k), Float(r.rate), Float(r.capacity), Float(r.credit))
+			_, exists := model[k]
+			if exists && err == nil {
+				t.Fatalf("step %d: duplicate insert of %s succeeded", step, k)
+			}
+			if !exists {
+				if err != nil {
+					t.Fatalf("step %d: insert %s failed: %v", step, k, err)
+				}
+				model[k] = r
+			}
+		case 1: // REPLACE (upsert)
+			r := modelRow{float64(rng.Intn(100)), float64(rng.Intn(1000)), float64(rng.Intn(1000))}
+			if _, err := e.Execute(`REPLACE INTO qos_rules VALUES (?, ?, ?, ?)`,
+				Text(k), Float(r.rate), Float(r.capacity), Float(r.credit)); err != nil {
+				t.Fatalf("step %d: replace: %v", step, err)
+			}
+			model[k] = r
+		case 2: // UPDATE credit
+			c := float64(rng.Intn(1000))
+			res, err := e.Execute(`UPDATE qos_rules SET credit = ? WHERE key = ?`, Float(c), Text(k))
+			if err != nil {
+				t.Fatalf("step %d: update: %v", step, err)
+			}
+			if r, ok := model[k]; ok {
+				if res.Affected != 1 {
+					t.Fatalf("step %d: update affected %d, want 1", step, res.Affected)
+				}
+				r.credit = c
+				model[k] = r
+			} else if res.Affected != 0 {
+				t.Fatalf("step %d: update of ghost affected %d", step, res.Affected)
+			}
+		case 3: // DELETE
+			res, err := e.Execute(`DELETE FROM qos_rules WHERE key = ?`, Text(k))
+			if err != nil {
+				t.Fatalf("step %d: delete: %v", step, err)
+			}
+			_, exists := model[k]
+			if (res.Affected == 1) != exists {
+				t.Fatalf("step %d: delete affected %d, exists %v", step, res.Affected, exists)
+			}
+			delete(model, k)
+		case 4: // SELECT point
+			res, err := e.Execute(`SELECT refill_rate, capacity, credit FROM qos_rules WHERE key = ?`, Text(k))
+			if err != nil {
+				t.Fatalf("step %d: select: %v", step, err)
+			}
+			r, exists := model[k]
+			if exists != (len(res.Rows) == 1) {
+				t.Fatalf("step %d: select rows %d, exists %v", step, len(res.Rows), exists)
+			}
+			if exists {
+				row := res.Rows[0]
+				if row[0].AsFloat() != r.rate || row[1].AsFloat() != r.capacity || row[2].AsFloat() != r.credit {
+					t.Fatalf("step %d: row %v != model %v", step, row, r)
+				}
+			}
+		case 5: // COUNT
+			res, err := e.Execute(`SELECT COUNT(*) FROM qos_rules`)
+			if err != nil {
+				t.Fatalf("step %d: count: %v", step, err)
+			}
+			if got := res.Rows[0][0].AsInt(); got != int64(len(model)) {
+				t.Fatalf("step %d: count %d != model %d", step, got, len(model))
+			}
+		}
+	}
+
+	// Final full-table cross-check.
+	res, err := e.Execute(`SELECT key, refill_rate, capacity, credit FROM qos_rules`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(model) {
+		t.Fatalf("final rows %d != model %d", len(res.Rows), len(model))
+	}
+	for _, row := range res.Rows {
+		r, ok := model[row[0].AsText()]
+		if !ok {
+			t.Fatalf("engine has ghost row %v", row)
+		}
+		if row[1].AsFloat() != r.rate || row[2].AsFloat() != r.capacity || row[3].AsFloat() != r.credit {
+			t.Fatalf("final row %v != model %v", row, r)
+		}
+	}
+}
+
+// The same random stream applied to a master must converge on a following
+// standby (replication end-to-end model check).
+func TestReplicationAgreesWithModel(t *testing.T) {
+	master := NewEngine()
+	if _, err := master.Execute(`CREATE TABLE t (id INT PRIMARY KEY, v INT)`); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(master, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	standby := NewEngine()
+	rep := NewReplica(standby)
+	if err := rep.Follow(srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Stop()
+
+	rng := rand.New(rand.NewSource(7))
+	writes := int64(0)
+	for step := 0; step < 3000; step++ {
+		id := Int(int64(rng.Intn(100)))
+		switch rng.Intn(3) {
+		case 0:
+			if res, _ := master.Execute(`REPLACE INTO t VALUES (?, ?)`, id, Int(int64(step))); res.Affected > 0 {
+				writes++
+			}
+		case 1:
+			if res, _ := master.Execute(`UPDATE t SET v = ? WHERE id = ?`, Int(int64(step)), id); res.Affected > 0 {
+				writes++
+			}
+		case 2:
+			if res, _ := master.Execute(`DELETE FROM t WHERE id = ?`, id); res.Affected > 0 {
+				writes++
+			}
+		}
+	}
+	waitFor(t, func() bool { return rep.Applied() >= writes })
+	m, _ := master.Execute(`SELECT id, v FROM t ORDER BY id ASC`)
+	s, _ := standby.Execute(`SELECT id, v FROM t ORDER BY id ASC`)
+	if len(m.Rows) != len(s.Rows) {
+		t.Fatalf("row counts: master %d standby %d (applied %d/%d, err %v)",
+			len(m.Rows), len(s.Rows), rep.Applied(), writes, rep.Err())
+	}
+	for i := range m.Rows {
+		if m.Rows[i][0] != s.Rows[i][0] || m.Rows[i][1] != s.Rows[i][1] {
+			t.Fatalf("row %d diverged: %v vs %v", i, m.Rows[i], s.Rows[i])
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package minisql
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T) (*Server, *Engine) {
+	t.Helper()
+	e := NewEngine()
+	srv, err := NewServer(e, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, e
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	srv, _ := startServer(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Execute(`CREATE TABLE t (id INT PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Execute(`INSERT INTO t VALUES (?, ?)`, Int(1), Text("hello"))
+	if err != nil || res.Affected != 1 {
+		t.Fatalf("insert: %+v, %v", res, err)
+	}
+	res, err = c.Execute(`SELECT v FROM t WHERE id = ?`, Int(1))
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0] != Text("hello") {
+		t.Fatalf("select: %+v, %v", res, err)
+	}
+}
+
+func TestServerReturnsSQLErrors(t *testing.T) {
+	srv, _ := startServer(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Execute(`SELECT * FROM missing`); err == nil {
+		t.Fatal("no error for missing table")
+	}
+	// Connection still usable after a SQL error.
+	if _, err := c.Execute(`CREATE TABLE t (id INT PRIMARY KEY)`); err != nil {
+		t.Fatalf("connection broken after SQL error: %v", err)
+	}
+}
+
+func TestServerPing(t *testing.T) {
+	srv, _ := startServer(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	serving, err := c.Ping()
+	if err != nil || !serving {
+		t.Fatalf("ping: %v %v", serving, err)
+	}
+	srv.SetReadOnly(true)
+	serving, err = c.Ping()
+	if err != nil || serving {
+		t.Fatalf("ping on standby: %v %v", serving, err)
+	}
+}
+
+func TestReadOnlyRejectsWrites(t *testing.T) {
+	srv, e := startServer(t)
+	if _, err := e.Execute(`CREATE TABLE t (id INT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetReadOnly(true)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Execute(`INSERT INTO t VALUES (1)`); err == nil {
+		t.Fatal("write accepted on standby")
+	}
+	if _, err := c.Execute(`SELECT * FROM t`); err != nil {
+		t.Fatalf("read rejected on standby: %v", err)
+	}
+}
+
+func TestPoolConcurrentClients(t *testing.T) {
+	srv, e := startServer(t)
+	if _, err := e.Execute(`CREATE TABLE t (id INT PRIMARY KEY, v INT)`); err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(srv.Addr(), 8)
+	defer pool.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := int64(w*1000 + i)
+				if _, err := pool.Execute(`INSERT INTO t VALUES (?, ?)`, Int(id), Int(id)); err != nil {
+					t.Errorf("insert %d: %v", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	res, err := pool.Execute(`SELECT COUNT(*) FROM t`)
+	if err != nil || res.Rows[0][0] != Int(400) {
+		t.Fatalf("count = %+v, %v", res, err)
+	}
+}
+
+func TestPoolRedialsAfterServerRestart(t *testing.T) {
+	e := NewEngine()
+	srv, err := NewServer(e, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	pool := NewPool(addr, 1)
+	defer pool.Close()
+	if _, err := pool.Execute(`CREATE TABLE t (id INT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// First call after close fails.
+	if _, err := pool.Execute(`SELECT * FROM t`); err == nil {
+		t.Fatal("expected failure after server close")
+	}
+	// Restart on the same address; pool must redial.
+	srv2, err := NewServer(e, addr, nil)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	var ok bool
+	for i := 0; i < 20; i++ {
+		if _, err := pool.Execute(`SELECT * FROM t`); err == nil {
+			ok = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !ok {
+		t.Fatal("pool did not recover after restart")
+	}
+}
+
+func TestReplicationSnapshotAndStream(t *testing.T) {
+	srv, master := startServer(t)
+	if _, err := master.Execute(`CREATE TABLE t (id INT PRIMARY KEY, v INT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := master.Execute(`INSERT INTO t VALUES (?, ?)`, Int(int64(i)), Int(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	standby := NewEngine()
+	rep := NewReplica(standby)
+	if err := rep.Follow(srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Stop()
+	// Snapshot applied synchronously.
+	if n, _ := standby.RowCount("t"); n != 50 {
+		t.Fatalf("standby rows after snapshot = %d", n)
+	}
+	// Live stream.
+	for i := 50; i < 80; i++ {
+		if _, err := master.Execute(`INSERT INTO t VALUES (?, ?)`, Int(int64(i)), Int(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n, _ := standby.RowCount("t"); n == 80 {
+			break
+		}
+		if time.Now().After(deadline) {
+			n, _ := standby.RowCount("t")
+			t.Fatalf("standby rows = %d, want 80 (applied=%d, err=%v)", n, rep.Applied(), rep.Err())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("replication error: %v", err)
+	}
+}
+
+func TestReplicaPromote(t *testing.T) {
+	srv, master := startServer(t)
+	if _, err := master.Execute(`CREATE TABLE t (id INT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	standby := NewEngine()
+	standbySrv, err := NewServer(standby, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer standbySrv.Close()
+	standbySrv.SetReadOnly(true)
+	rep := NewReplica(standby)
+	if err := rep.Follow(srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// Master fails; promote the standby.
+	srv.Close()
+	rep.Promote()
+	standbySrv.SetReadOnly(false)
+	if !rep.Promoted() {
+		t.Fatal("not promoted")
+	}
+	// Promotion must not record a spurious replication error.
+	if err := rep.Err(); err != nil {
+		t.Fatalf("unexpected replication error after promote: %v", err)
+	}
+	c, err := Dial(standbySrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Execute(`INSERT INTO t VALUES (1)`); err != nil {
+		t.Fatalf("write to promoted standby failed: %v", err)
+	}
+}
+
+func TestReplicationConcurrentWritesConverge(t *testing.T) {
+	srv, master := startServer(t)
+	if _, err := master.Execute(`CREATE TABLE t (id INT PRIMARY KEY, v INT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := master.Execute(`INSERT INTO t VALUES (?, 0)`, Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	standby := NewEngine()
+	rep := NewReplica(standby)
+	if err := rep.Follow(srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Stop()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := master.Execute(`UPDATE t SET v = ? WHERE id = ?`, Int(int64(w*1000+i)), Int(int64(i%16))); err != nil {
+					t.Errorf("update: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Wait for the stream to drain, then compare full contents.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if rep.Applied() >= 400 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("applied = %d, err = %v", rep.Applied(), rep.Err())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mres, _ := master.Execute(`SELECT id, v FROM t ORDER BY id ASC`)
+	sres, _ := standby.Execute(`SELECT id, v FROM t ORDER BY id ASC`)
+	if len(mres.Rows) != len(sres.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(mres.Rows), len(sres.Rows))
+	}
+	for i := range mres.Rows {
+		if mres.Rows[i][1] != sres.Rows[i][1] {
+			t.Fatalf("row %d diverged: master=%v standby=%v", i, mres.Rows[i], sres.Rows[i])
+		}
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, _ := startServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestClientClosedErrors(t *testing.T) {
+	srv, _ := startServer(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Execute(`SELECT 1 FROM t`); err == nil {
+		t.Fatal("closed client accepted Execute")
+	}
+	if _, err := c.Ping(); err == nil {
+		t.Fatal("closed client accepted Ping")
+	}
+}
+
+func TestManySequentialQueriesOneConn(t *testing.T) {
+	srv, e := startServer(t)
+	if _, err := e.Execute(`CREATE TABLE t (id INT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 500; i++ {
+		if _, err := c.Execute(`REPLACE INTO t VALUES (?)`, Int(int64(i%10))); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	res, err := c.Execute(fmt.Sprintf(`SELECT COUNT(*) FROM t`))
+	if err != nil || res.Rows[0][0] != Int(10) {
+		t.Fatalf("count: %+v %v", res, err)
+	}
+}

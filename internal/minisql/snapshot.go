@@ -1,0 +1,101 @@
+package minisql
+
+import "fmt"
+
+// SnapshotData is a deep, self-contained copy of the full database state,
+// used to seed a standby before statement-shipping replication begins.
+type SnapshotData struct {
+	Tables []TableSnapshot
+}
+
+// TableSnapshot captures one table.
+type TableSnapshot struct {
+	Name   string
+	Schema []ColumnDef
+	Rows   [][]Value
+}
+
+// Snapshot captures the current state of every table. Writes that land
+// during the snapshot are serialized out by the write mutex, so the copy is
+// a consistent point-in-time image with respect to journaled statements.
+func (e *Engine) Snapshot() SnapshotData {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var snap SnapshotData
+	for _, name := range e.tableNamesLocked() {
+		t := e.tables[name]
+		t.mu.RLock()
+		ts := TableSnapshot{
+			Name:   t.name,
+			Schema: append([]ColumnDef(nil), t.schema...),
+			Rows:   make([][]Value, len(t.rows)),
+		}
+		for i, r := range t.rows {
+			ts.Rows[i] = append([]Value(nil), r...)
+		}
+		t.mu.RUnlock()
+		snap.Tables = append(snap.Tables, ts)
+	}
+	return snap
+}
+
+func (e *Engine) tableNamesLocked() []string {
+	out := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Restore replaces the engine's entire contents with the snapshot.
+func (e *Engine) Restore(snap SnapshotData) error {
+	tables := make(map[string]*tableData, len(snap.Tables))
+	for _, ts := range snap.Tables {
+		t := &tableData{
+			name:    ts.Name,
+			schema:  append([]ColumnDef(nil), ts.Schema...),
+			colIdx:  make(map[string]int, len(ts.Schema)),
+			pkCol:   -1,
+			pkIndex: make(map[Value]int, len(ts.Rows)),
+			rows:    make([][]Value, len(ts.Rows)),
+		}
+		for i, c := range ts.Schema {
+			t.colIdx[lower(c.Name)] = i
+			if c.PrimaryKey {
+				t.pkCol = i
+			}
+		}
+		for i, r := range ts.Rows {
+			if len(r) != len(ts.Schema) {
+				return fmt.Errorf("minisql: snapshot row arity mismatch in %q", ts.Name)
+			}
+			t.rows[i] = append([]Value(nil), r...)
+			if t.pkCol >= 0 {
+				pk := t.rows[i][t.pkCol]
+				if _, dup := t.pkIndex[pk]; dup {
+					return fmt.Errorf("minisql: snapshot has duplicate primary key %s in %q", pk, ts.Name)
+				}
+				t.pkIndex[pk] = i
+			}
+		}
+		tables[t.name] = t
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.mu.Lock()
+	e.tables = tables
+	e.mu.Unlock()
+	return nil
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,94 @@
+package qosserver
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bucket"
+	"repro/internal/minisql"
+	"repro/internal/store"
+	"repro/internal/table"
+	"repro/internal/wire"
+)
+
+func benchServer(b *testing.B, kind table.Kind, rules int) *Server {
+	b.Helper()
+	st := store.New(minisql.NewEngine())
+	if err := st.Init(); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < rules; i++ {
+		if err := st.Put(bucket.Rule{Key: fmt.Sprintf("k%d", i), RefillRate: 1e9, Capacity: 1e9, Credit: 1e9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s, err := New(Config{Addr: "127.0.0.1:0", Store: st, TableKind: kind})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	return s
+}
+
+// BenchmarkDecideHotKey measures the resident-bucket decision path — the
+// per-request cost once a key's rule is cached locally.
+func BenchmarkDecideHotKey(b *testing.B) {
+	s := benchServer(b, table.KindSharded, 1)
+	req := wire.Request{Key: "k0", Cost: 1}
+	s.Decide(req) // install
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Decide(req)
+	}
+}
+
+// BenchmarkDecideParallel measures contended decisions across a key
+// population, for both table kinds — the §V-C locking story.
+func BenchmarkDecideParallel(b *testing.B) {
+	for _, kind := range []table.Kind{table.KindMutex, table.KindSharded} {
+		b.Run(string(kind), func(b *testing.B) {
+			const keys = 256
+			s := benchServer(b, kind, keys)
+			for i := 0; i < keys; i++ {
+				s.Decide(wire.Request{Key: fmt.Sprintf("k%d", i), Cost: 1})
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					s.Decide(wire.Request{Key: fmt.Sprintf("k%d", i&(keys-1)), Cost: 1})
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkDecideColdKey measures the first-sight path: database fetch plus
+// bucket installation.
+func BenchmarkDecideColdKey(b *testing.B) {
+	s := benchServer(b, table.KindSharded, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Decide(wire.Request{Key: fmt.Sprintf("cold-%d", i), Cost: 1})
+	}
+}
+
+// BenchmarkSnapshotTable measures the HA replication snapshot cost as the
+// table grows.
+func BenchmarkSnapshotTable(b *testing.B) {
+	for _, n := range []int{100, 10000} {
+		b.Run(fmt.Sprintf("keys=%d", n), func(b *testing.B) {
+			s := benchServer(b, table.KindSharded, 0)
+			for i := 0; i < n; i++ {
+				s.Decide(wire.Request{Key: fmt.Sprintf("k%d", i), Cost: 1})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := len(s.snapshotTable()); got != n {
+					b.Fatalf("snapshot size %d, want %d", got, n)
+				}
+			}
+		})
+	}
+}

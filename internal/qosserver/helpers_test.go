@@ -1,0 +1,17 @@
+package qosserver
+
+import "net"
+
+// connWrapper is a tiny helper for firing raw datagrams in tests.
+type connWrapper struct{ conn net.Conn }
+
+func netDial(addr string) (*connWrapper, error) {
+	c, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &connWrapper{conn: c}, nil
+}
+
+func (w *connWrapper) Write(p []byte) (int, error) { return w.conn.Write(p) }
+func (w *connWrapper) Close() error                { return w.conn.Close() }

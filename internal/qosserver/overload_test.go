@@ -1,0 +1,112 @@
+package qosserver
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/bucket"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestFIFOOverflowDropsAndRetriesRecover floods a server configured with a
+// tiny FIFO and a single slow-ish worker path: some datagrams must be
+// dropped at the queue (counted, not fatal), and a client using the paper's
+// retry discipline still completes its requests.
+func TestFIFOOverflowDropsAndRetriesRecover(t *testing.T) {
+	db := newDB(t, bucket.Rule{Key: "k", RefillRate: 1e9, Capacity: 1e9, Credit: 1e9})
+	s := newServer(t, Config{Store: db, Workers: 1, QueueSize: 1})
+
+	// Blast raw datagrams to overwhelm the 1-deep FIFO.
+	conn, err := net.Dial("udp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pkt, _ := wire.EncodeRequest(wire.Request{ID: 1, Key: "k", Cost: 1})
+	for i := 0; i < 5000; i++ {
+		conn.Write(pkt)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Dropped == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no drops under flood: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A retrying client still gets every answer.
+	c, err := transport.Dial(s.Addr(), transport.Config{Timeout: 50 * time.Millisecond, Retries: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 50; i++ {
+		resp, err := c.Do(wire.Request{Key: "k", Cost: 1})
+		if err != nil || !resp.Allow {
+			t.Fatalf("request %d after flood: %+v %v", i, resp, err)
+		}
+	}
+}
+
+// TestWorkerCountHonoured verifies the configured worker pool drains the
+// FIFO concurrently (throughput sanity with many workers vs one).
+func TestWorkerCountHonoured(t *testing.T) {
+	db := newDB(t, bucket.Rule{Key: "k", RefillRate: 1e9, Capacity: 1e9, Credit: 1e9})
+	s := newServer(t, Config{Store: db, Workers: 8})
+	c, err := transport.Dial(s.Addr(), clientCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			c.Do(wire.Request{Key: "k", Cost: 1})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker pool wedged")
+	}
+	if s.Stats().Decisions < 450 {
+		t.Fatalf("decisions = %d", s.Stats().Decisions)
+	}
+}
+
+// TestIdenticalRetriesDoubleCharge documents the at-most-N-times semantics
+// the paper accepts: a retransmitted request whose first response was lost
+// consumes a second credit. The invariant that matters is that admissions
+// never exceed capacity.
+func TestIdenticalRetriesDoubleCharge(t *testing.T) {
+	db := newDB(t, bucket.Rule{Key: "k", RefillRate: 0, Capacity: 100, Credit: 100})
+	s := newServer(t, Config{Store: db})
+	// Duplicate every datagram manually: same ID sent twice.
+	conn, err := net.Dial("udp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 80; i++ {
+		pkt, _ := wire.EncodeRequest(wire.Request{ID: uint64(i), Key: "k", Cost: 1})
+		conn.Write(pkt)
+		conn.Write(pkt) // retransmission
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Decisions < 160 {
+		if time.Now().After(deadline) {
+			t.Fatalf("decisions = %d", s.Stats().Decisions)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := s.Stats()
+	if st.Allowed > 100 {
+		t.Fatalf("allowed %d exceeds capacity 100", st.Allowed)
+	}
+	if st.Allowed != 100 || st.Denied != 60 {
+		t.Fatalf("allowed/denied = %d/%d, want 100/60 (each duplicate charged)", st.Allowed, st.Denied)
+	}
+}

@@ -1,0 +1,513 @@
+// Package qosserver implements the Janus QoS server node (paper §II-C,
+// §III-C).
+//
+// The major components mirror the paper's Java implementation one-for-one:
+//
+//   - the local QoS table: a synchronized map from QoS key to leaky bucket
+//     (internal/table; sharded by default, single-lock available for the
+//     ablation);
+//   - the UDP listener goroutine, which receives datagrams from the request
+//     router and pushes them into a FIFO;
+//   - N worker goroutines polling the FIFO (N defaults to the number of
+//     available CPUs), which decode the request, make the leaky-bucket
+//     decision, and send the response back over UDP — without caring
+//     whether the router receives it (the router retries);
+//   - the housekeeping goroutine refilling buckets at a fixed interval
+//     (when tick refill is selected);
+//   - the system-maintenance goroutine re-querying the database for rule
+//     updates at a configurable interval;
+//   - the checkpoint goroutine writing current credits back to the
+//     database at a configurable interval;
+//   - the high-availability listener serving the local table to a slave
+//     (ha.go).
+//
+// A server never communicates with other QoS servers (§II-D: "There is no
+// communication between the QoS servers in Janus. They are totally unaware
+// of the existence of each other.").
+package qosserver
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/bucket"
+	"repro/internal/metrics"
+	"repro/internal/store"
+	"repro/internal/table"
+	"repro/internal/wire"
+)
+
+// Config configures a QoS server node.
+type Config struct {
+	// Addr is the UDP listen address ("127.0.0.1:0" for ephemeral).
+	Addr string
+	// Workers is the number of worker goroutines polling the FIFO; 0 means
+	// the number of available CPUs (the paper: "N equals to the number of
+	// vCPU's available on the QoS server").
+	Workers int
+	// QueueSize is the FIFO capacity between listener and workers.
+	QueueSize int
+	// TableKind selects the local QoS table implementation.
+	TableKind table.Kind
+	// DefaultRule is applied to keys absent from the database (§II-D). Its
+	// Key field is ignored. The zero value denies all unknown keys.
+	DefaultRule bucket.Rule
+	// RefillInterval > 0 selects housekeeping-tick refill at that period;
+	// 0 selects exact lazy refill.
+	RefillInterval time.Duration
+	// SyncInterval > 0 enables periodic rule re-synchronization from the
+	// database.
+	SyncInterval time.Duration
+	// CheckpointInterval > 0 enables periodic credit write-back.
+	CheckpointInterval time.Duration
+	// Store is the database access layer; nil runs the server without a
+	// database (every key uses DefaultRule).
+	Store *store.Store
+	// FailOpen selects the verdict when the database errors during rule
+	// fetch: true admits, false denies.
+	FailOpen bool
+	// ReplicationAddr, when non-empty, starts the HA listener on this TCP
+	// address so a slave can replicate the local table.
+	ReplicationAddr string
+	// Clock injects time for tests; nil means time.Now.
+	Clock func() time.Time
+	// Logger receives operational messages; nil discards.
+	Logger *log.Logger
+}
+
+// Stats are cumulative operation counters for one server.
+type Stats struct {
+	Received   int64 // datagrams pulled off the socket
+	Dropped    int64 // datagrams discarded because the FIFO was full
+	Malformed  int64 // datagrams that failed to decode
+	Decisions  int64 // admission decisions made
+	Allowed    int64
+	Denied     int64
+	DBQueries  int64 // rule fetches that hit the database
+	DefaultHit int64 // decisions served by the default rule
+	DBErrors   int64
+}
+
+// Server is a running QoS server node.
+type Server struct {
+	cfg   Config
+	conn  *net.UDPConn
+	table table.Table
+	clock func() time.Time
+
+	fifo chan packet
+
+	// defaults tracks keys served by the default rule, so responses carry
+	// StatusDefaultRule and checkpointing can skip them.
+	defaults sync.Map // key -> struct{}
+
+	decisionLatency *metrics.Histogram
+
+	received   metrics.Counter
+	dropped    metrics.Counter
+	malformed  metrics.Counter
+	decisions  metrics.Counter
+	allowed    metrics.Counter
+	denied     metrics.Counter
+	dbQueries  metrics.Counter
+	defaultHit metrics.Counter
+	dbErrors   metrics.Counter
+
+	ha *haListener
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	closeOnce sync.Once
+	logger    *log.Logger
+}
+
+type packet struct {
+	data  []byte
+	raddr *net.UDPAddr
+}
+
+// New starts a QoS server.
+func New(cfg Config) (*Server, error) {
+	laddr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("qosserver: resolve %s: %w", cfg.Addr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("qosserver: listen %s: %w", cfg.Addr, err)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64 * 1024
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.New(discard{}, "", 0)
+	}
+	s := &Server{
+		cfg:             cfg,
+		conn:            conn,
+		table:           table.New(cfg.TableKind),
+		clock:           clock,
+		fifo:            make(chan packet, cfg.QueueSize),
+		decisionLatency: metrics.NewHistogram(),
+		quit:            make(chan struct{}),
+		logger:          logger,
+	}
+	if cfg.ReplicationAddr != "" {
+		ha, err := newHAListener(s, cfg.ReplicationAddr)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		s.ha = ha
+	}
+	s.wg.Add(1)
+	go s.listen()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	if cfg.RefillInterval > 0 {
+		s.wg.Add(1)
+		go s.housekeeping()
+	}
+	if cfg.SyncInterval > 0 && cfg.Store != nil {
+		s.wg.Add(1)
+		go s.syncLoop()
+	}
+	if cfg.CheckpointInterval > 0 && cfg.Store != nil {
+		s.wg.Add(1)
+		go s.checkpointLoop()
+	}
+	return s, nil
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Addr returns the UDP address the server listens on.
+func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
+
+// ReplicationAddr returns the HA listener address, or "" if HA is disabled.
+func (s *Server) ReplicationAddr() string {
+	if s.ha == nil {
+		return ""
+	}
+	return s.ha.Addr()
+}
+
+// listen is the UDP listener thread: it receives packets and pushes them
+// into the FIFO. A full FIFO drops the packet — the router's retry covers
+// the loss, exactly the failure mode the paper's UDP discipline anticipates.
+func (s *Server) listen() {
+	defer s.wg.Done()
+	for {
+		buf := make([]byte, 2048)
+		n, raddr, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		s.received.Inc()
+		select {
+		case s.fifo <- packet{data: buf[:n], raddr: raddr}:
+		default:
+			s.dropped.Inc()
+		}
+	}
+}
+
+// worker polls the FIFO, decides, and responds.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	out := make([]byte, 0, 64)
+	for {
+		var pkt packet
+		select {
+		case <-s.quit:
+			return
+		case pkt = <-s.fifo:
+		}
+		req, err := wire.DecodeRequest(pkt.data)
+		if err != nil {
+			s.malformed.Inc()
+			continue
+		}
+		start := s.clock()
+		resp := s.Decide(req)
+		s.decisionLatency.RecordDuration(s.clock().Sub(start))
+		out = wire.AppendResponse(out[:0], resp)
+		// Fire and forget (§III-C: "The worker thread does not care about
+		// whether the request router receives the response or not").
+		s.conn.WriteToUDP(out, pkt.raddr)
+	}
+}
+
+// Decide makes the admission decision for one request against the local
+// table, fetching the rule from the database on first sight of a key.
+// It is exported for in-process deployments and the simulation harness.
+func (s *Server) Decide(req wire.Request) wire.Response {
+	now := s.clock()
+	b := s.table.Get(req.Key)
+	status := wire.StatusOK
+	if b == nil {
+		b = s.installRule(req.Key, now)
+	}
+	if _, isDefault := s.defaults.Load(req.Key); isDefault {
+		status = wire.StatusDefaultRule
+		s.defaultHit.Inc()
+	}
+	cost := req.Cost
+	if cost == 0 {
+		cost = 1
+	}
+	allow := b.TryConsume(cost, now)
+	s.decisions.Inc()
+	if allow {
+		s.allowed.Inc()
+	} else {
+		s.denied.Inc()
+	}
+	return wire.Response{ID: req.ID, Allow: allow, Status: status}
+}
+
+// installRule fetches the rule for key from the database (or applies the
+// default) and installs its bucket in the local table.
+func (s *Server) installRule(key string, now time.Time) *bucket.Bucket {
+	b, _ := s.table.GetOrCreate(key, func() *bucket.Bucket {
+		rule, isDefault := s.fetchRule(key)
+		if isDefault {
+			s.defaults.Store(key, struct{}{})
+		}
+		return s.newBucket(rule, now)
+	})
+	return b
+}
+
+// newBucket builds a bucket honouring the configured refill discipline.
+func (s *Server) newBucket(rule bucket.Rule, now time.Time) *bucket.Bucket {
+	var opts []bucket.Option
+	if s.cfg.RefillInterval > 0 {
+		opts = append(opts, bucket.WithTickRefill())
+	}
+	return bucket.New(rule, now, opts...)
+}
+
+// fetchRule queries the database; isDefault reports that the default rule
+// was applied (unknown key or database failure per FailOpen policy).
+func (s *Server) fetchRule(key string) (rule bucket.Rule, isDefault bool) {
+	if s.cfg.Store == nil {
+		return s.defaultRuleFor(key), true
+	}
+	s.dbQueries.Inc()
+	r, found, err := s.cfg.Store.Get(key)
+	if err != nil {
+		s.dbErrors.Inc()
+		s.logger.Printf("qosserver: rule fetch for %q failed: %v", key, err)
+		if s.cfg.FailOpen {
+			// Admit generously until the database recovers.
+			return bucket.Rule{Key: key, RefillRate: 1e12, Capacity: 1e12, Credit: 1e12}, true
+		}
+		return bucket.DenyAll(key), true
+	}
+	if !found {
+		return s.defaultRuleFor(key), true
+	}
+	return r, false
+}
+
+func (s *Server) defaultRuleFor(key string) bucket.Rule {
+	d := s.cfg.DefaultRule
+	d.Key = key
+	if d.Credit > d.Capacity {
+		d.Credit = d.Capacity
+	}
+	return d
+}
+
+// Preload pulls every rule from the database into the local table; used to
+// warm a node before admitting traffic.
+func (s *Server) Preload() error {
+	if s.cfg.Store == nil {
+		return nil
+	}
+	rules, err := s.cfg.Store.LoadAll()
+	if err != nil {
+		return err
+	}
+	now := s.clock()
+	for _, r := range rules {
+		s.table.Put(r.Key, s.newBucket(r, now))
+	}
+	return nil
+}
+
+// housekeeping refills all buckets at the configured interval (§III-C).
+func (s *Server) housekeeping() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.RefillInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			s.table.RefillAll(s.clock())
+		}
+	}
+}
+
+// syncLoop is the system-maintenance thread: it re-queries the database for
+// the keys in the local table and updates bucket geometry in place; keys
+// deleted from the database are evicted so the next request re-resolves
+// them (picking up the default rule).
+func (s *Server) syncLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			s.SyncOnce()
+		}
+	}
+}
+
+// SyncOnce performs one rule synchronization pass. Exported so tests and
+// orchestration can force a pass without waiting for the ticker.
+func (s *Server) SyncOnce() {
+	if s.cfg.Store == nil {
+		return
+	}
+	now := s.clock()
+	type kv struct {
+		key string
+		b   *bucket.Bucket
+	}
+	var entries []kv
+	s.table.Range(func(key string, b *bucket.Bucket) bool {
+		entries = append(entries, kv{key, b})
+		return true
+	})
+	for _, e := range entries {
+		if _, isDefault := s.defaults.Load(e.key); isDefault {
+			// A default key may have been added to the database since
+			// (a new purchase): install the database rule wholesale,
+			// including its initial credit.
+			r, found, err := s.cfg.Store.Get(e.key)
+			if err != nil {
+				s.dbErrors.Inc()
+				continue
+			}
+			if found {
+				s.defaults.Delete(e.key)
+				s.table.Put(e.key, s.newBucket(r, now))
+			}
+			continue
+		}
+		r, found, err := s.cfg.Store.Get(e.key)
+		if err != nil {
+			s.dbErrors.Inc()
+			continue
+		}
+		if !found {
+			// Rule deleted: evict; next request applies the default rule.
+			s.table.Delete(e.key)
+			continue
+		}
+		// An edited rule (geometry changed) is installed wholesale with
+		// the database's latest values (§III-C), credit included — the
+		// user's new purchase takes effect immediately. An unchanged rule
+		// is left alone so the database's stale credit (last checkpoint)
+		// does not overwrite live consumption.
+		if r.RefillRate != e.b.RefillRate() || r.Capacity != e.b.Capacity() {
+			s.table.Put(e.key, s.newBucket(r, now))
+		}
+	}
+}
+
+// checkpointLoop periodically writes current credits back to the database.
+func (s *Server) checkpointLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			s.CheckpointOnce()
+		}
+	}
+}
+
+// CheckpointOnce performs one credit write-back pass.
+func (s *Server) CheckpointOnce() {
+	if s.cfg.Store == nil {
+		return
+	}
+	now := s.clock()
+	credits := make(map[string]float64)
+	s.table.Range(func(key string, b *bucket.Bucket) bool {
+		if _, isDefault := s.defaults.Load(key); !isDefault {
+			credits[key] = b.Credit(now)
+		}
+		return true
+	})
+	if err := s.cfg.Store.CheckpointBatch(credits); err != nil {
+		s.dbErrors.Inc()
+		s.logger.Printf("qosserver: checkpoint failed: %v", err)
+	}
+}
+
+// Table exposes the local QoS table (used by HA replication and tests).
+func (s *Server) Table() table.Table { return s.table }
+
+// TableLen returns the number of keys resident in the local table.
+func (s *Server) TableLen() int { return s.table.Len() }
+
+// Stats returns a snapshot of the operation counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Received:   s.received.Value(),
+		Dropped:    s.dropped.Value(),
+		Malformed:  s.malformed.Value(),
+		Decisions:  s.decisions.Value(),
+		Allowed:    s.allowed.Value(),
+		Denied:     s.denied.Value(),
+		DBQueries:  s.dbQueries.Value(),
+		DefaultHit: s.defaultHit.Value(),
+		DBErrors:   s.dbErrors.Value(),
+	}
+}
+
+// DecisionLatency returns the decision-latency histogram.
+func (s *Server) DecisionLatency() *metrics.Histogram { return s.decisionLatency }
+
+// Close shuts the server down and waits for all goroutines.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.quit)
+		err = s.conn.Close()
+		if s.ha != nil {
+			s.ha.Close()
+		}
+		s.wg.Wait()
+	})
+	return err
+}

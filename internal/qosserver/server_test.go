@@ -1,0 +1,425 @@
+package qosserver
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bucket"
+	"repro/internal/minisql"
+	"repro/internal/store"
+	"repro/internal/table"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func newDB(t *testing.T, rules ...bucket.Rule) *store.Store {
+	t.Helper()
+	s := store.New(minisql.NewEngine())
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutAll(rules); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+var clientCfg = transport.Config{Timeout: 100 * time.Millisecond, Retries: 5}
+
+func TestDecideKnownKey(t *testing.T) {
+	db := newDB(t, bucket.Rule{Key: "alice", RefillRate: 0, Capacity: 3, Credit: 3})
+	s := newServer(t, Config{Store: db})
+	for i := 0; i < 3; i++ {
+		resp := s.Decide(wire.Request{Key: "alice", Cost: 1})
+		if !resp.Allow || resp.Status != wire.StatusOK {
+			t.Fatalf("request %d: %+v", i, resp)
+		}
+	}
+	resp := s.Decide(wire.Request{Key: "alice", Cost: 1})
+	if resp.Allow {
+		t.Fatalf("admitted beyond capacity: %+v", resp)
+	}
+	st := s.Stats()
+	if st.Decisions != 4 || st.Allowed != 3 || st.Denied != 1 || st.DBQueries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDecideUnknownKeyDeniedByDefault(t *testing.T) {
+	db := newDB(t)
+	s := newServer(t, Config{Store: db})
+	resp := s.Decide(wire.Request{Key: "stranger", Cost: 1})
+	if resp.Allow || resp.Status != wire.StatusDefaultRule {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestDecideUnknownKeyGuestDefault(t *testing.T) {
+	db := newDB(t)
+	s := newServer(t, Config{Store: db, DefaultRule: bucket.Rule{RefillRate: 10, Capacity: 2, Credit: 2}})
+	r1 := s.Decide(wire.Request{Key: "guest", Cost: 1})
+	r2 := s.Decide(wire.Request{Key: "guest", Cost: 1})
+	r3 := s.Decide(wire.Request{Key: "guest", Cost: 1})
+	if !r1.Allow || !r2.Allow || r3.Allow {
+		t.Fatalf("guest decisions = %v %v %v", r1.Allow, r2.Allow, r3.Allow)
+	}
+	if r1.Status != wire.StatusDefaultRule {
+		t.Fatalf("status = %v", r1.Status)
+	}
+}
+
+func TestDecideNoStoreUsesDefault(t *testing.T) {
+	s := newServer(t, Config{DefaultRule: bucket.Rule{RefillRate: 1, Capacity: 1, Credit: 1}})
+	if resp := s.Decide(wire.Request{Key: "x"}); !resp.Allow {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestDecideZeroCostTreatedAsOne(t *testing.T) {
+	db := newDB(t, bucket.Rule{Key: "k", RefillRate: 0, Capacity: 1, Credit: 1})
+	s := newServer(t, Config{Store: db})
+	if resp := s.Decide(wire.Request{Key: "k"}); !resp.Allow {
+		t.Fatal("first request denied")
+	}
+	if resp := s.Decide(wire.Request{Key: "k"}); resp.Allow {
+		t.Fatal("bucket not charged for zero-cost request")
+	}
+}
+
+func TestDecideWeightedCost(t *testing.T) {
+	db := newDB(t, bucket.Rule{Key: "k", RefillRate: 0, Capacity: 10, Credit: 10})
+	s := newServer(t, Config{Store: db})
+	if resp := s.Decide(wire.Request{Key: "k", Cost: 7}); !resp.Allow {
+		t.Fatal("batch denied")
+	}
+	if resp := s.Decide(wire.Request{Key: "k", Cost: 4}); resp.Allow {
+		t.Fatal("over-budget batch admitted")
+	}
+	if resp := s.Decide(wire.Request{Key: "k", Cost: 3}); !resp.Allow {
+		t.Fatal("exact remainder denied")
+	}
+}
+
+func TestUDPEndToEnd(t *testing.T) {
+	db := newDB(t, bucket.Rule{Key: "alice", RefillRate: 0, Capacity: 5, Credit: 5})
+	s := newServer(t, Config{Store: db})
+	c, err := transport.Dial(s.Addr(), clientCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	allowed := 0
+	for i := 0; i < 8; i++ {
+		resp, err := c.Do(wire.Request{Key: "alice", Cost: 1})
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.Allow {
+			allowed++
+		}
+	}
+	if allowed != 5 {
+		t.Fatalf("allowed = %d, want 5", allowed)
+	}
+}
+
+func TestUDPConcurrentClients(t *testing.T) {
+	db := newDB(t, bucket.Rule{Key: "k", RefillRate: 0, Capacity: 1000, Credit: 1000})
+	s := newServer(t, Config{Store: db, Workers: 4})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	totalAllowed := 0
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := transport.Dial(s.Addr(), clientCfg)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			local := 0
+			for i := 0; i < 500; i++ {
+				resp, err := c.Do(wire.Request{Key: "k", Cost: 1})
+				if err == nil && resp.Allow {
+					local++
+				}
+			}
+			mu.Lock()
+			totalAllowed += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	// Conservation: no more than capacity admitted (no refill). Retries
+	// may re-send a request whose response was lost, so a small duplicate
+	// charge is possible but the cap can never be exceeded.
+	if totalAllowed > 1000 {
+		t.Fatalf("allowed = %d > capacity 1000", totalAllowed)
+	}
+	if totalAllowed < 900 {
+		t.Fatalf("allowed = %d, lost too many", totalAllowed)
+	}
+}
+
+func TestRefillOverUDP(t *testing.T) {
+	db := newDB(t, bucket.Rule{Key: "k", RefillRate: 1000, Capacity: 10, Credit: 0})
+	s := newServer(t, Config{Store: db})
+	c, err := transport.Dial(s.Addr(), clientCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// First request installs the bucket (empty) and is denied.
+	resp, err := c.Do(wire.Request{Key: "k", Cost: 10})
+	if err != nil || resp.Allow {
+		t.Fatalf("install request: resp=%+v err=%v", resp, err)
+	}
+	time.Sleep(20 * time.Millisecond) // accrue ~20 credits, clamp at 10
+	resp, err = c.Do(wire.Request{Key: "k", Cost: 10})
+	if err != nil || !resp.Allow {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+}
+
+func TestHousekeepingTickRefill(t *testing.T) {
+	db := newDB(t, bucket.Rule{Key: "k", RefillRate: 1000, Capacity: 100, Credit: 100})
+	s := newServer(t, Config{Store: db, RefillInterval: 5 * time.Millisecond})
+	for i := 0; i < 100; i++ {
+		if resp := s.Decide(wire.Request{Key: "k"}); !resp.Allow {
+			t.Fatalf("drain %d denied", i)
+		}
+	}
+	if resp := s.Decide(wire.Request{Key: "k"}); resp.Allow {
+		t.Fatal("admitted with empty bucket before tick")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if resp := s.Decide(wire.Request{Key: "k"}); resp.Allow {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("housekeeping never refilled the bucket")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestSyncPicksUpRuleUpdate(t *testing.T) {
+	db := newDB(t, bucket.Rule{Key: "k", RefillRate: 0, Capacity: 1, Credit: 1})
+	s := newServer(t, Config{Store: db})
+	s.Decide(wire.Request{Key: "k"}) // install
+	// Rule is edited in the database.
+	if err := db.Put(bucket.Rule{Key: "k", RefillRate: 0, Capacity: 100, Credit: 100}); err != nil {
+		t.Fatal(err)
+	}
+	s.SyncOnce()
+	b := s.Table().Get("k")
+	if b == nil || b.Capacity() != 100 {
+		t.Fatalf("bucket not updated: %v", b)
+	}
+}
+
+func TestSyncEvictsDeletedRule(t *testing.T) {
+	db := newDB(t, bucket.Rule{Key: "k", RefillRate: 1, Capacity: 1, Credit: 1})
+	s := newServer(t, Config{Store: db})
+	s.Decide(wire.Request{Key: "k"})
+	if _, err := db.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	s.SyncOnce()
+	if s.Table().Get("k") != nil {
+		t.Fatal("deleted rule still resident")
+	}
+	// Next request applies the default (deny-all) rule.
+	if resp := s.Decide(wire.Request{Key: "k"}); resp.Allow || resp.Status != wire.StatusDefaultRule {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestSyncUpgradesDefaultKeyToRealRule(t *testing.T) {
+	db := newDB(t)
+	s := newServer(t, Config{Store: db})
+	s.Decide(wire.Request{Key: "new-user"}) // default (deny) installed
+	// Rule appears in the database (new purchase).
+	if err := db.Put(bucket.Rule{Key: "new-user", RefillRate: 10, Capacity: 10, Credit: 10}); err != nil {
+		t.Fatal(err)
+	}
+	s.SyncOnce()
+	resp := s.Decide(wire.Request{Key: "new-user"})
+	if !resp.Allow || resp.Status != wire.StatusOK {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestCheckpointWritesCreditsBack(t *testing.T) {
+	db := newDB(t, bucket.Rule{Key: "k", RefillRate: 0, Capacity: 10, Credit: 10})
+	s := newServer(t, Config{Store: db})
+	for i := 0; i < 4; i++ {
+		s.Decide(wire.Request{Key: "k"})
+	}
+	s.CheckpointOnce()
+	r, found, err := db.Get("k")
+	if err != nil || !found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if r.Credit != 6 {
+		t.Fatalf("checkpointed credit = %v, want 6", r.Credit)
+	}
+}
+
+func TestReplacementServerResumesFromCheckpoint(t *testing.T) {
+	// Paper §II-D: a replacement server uses the last check-pointed credit
+	// as the initial credit value.
+	db := newDB(t, bucket.Rule{Key: "k", RefillRate: 0, Capacity: 10, Credit: 10})
+	s1 := newServer(t, Config{Store: db})
+	for i := 0; i < 7; i++ {
+		s1.Decide(wire.Request{Key: "k"})
+	}
+	s1.CheckpointOnce()
+	s1.Close()
+	s2 := newServer(t, Config{Store: db})
+	allowed := 0
+	for i := 0; i < 10; i++ {
+		if s2.Decide(wire.Request{Key: "k"}).Allow {
+			allowed++
+		}
+	}
+	if allowed != 3 {
+		t.Fatalf("replacement admitted %d, want 3 (checkpointed credit)", allowed)
+	}
+}
+
+func TestPreload(t *testing.T) {
+	var rules []bucket.Rule
+	for i := 0; i < 50; i++ {
+		rules = append(rules, bucket.Rule{Key: fmt.Sprintf("k%d", i), RefillRate: 1, Capacity: 5, Credit: 5})
+	}
+	db := newDB(t, rules...)
+	s := newServer(t, Config{Store: db})
+	if err := s.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	if s.TableLen() != 50 {
+		t.Fatalf("table len = %d", s.TableLen())
+	}
+	// Preloaded keys do not hit the database again.
+	q0 := s.Stats().DBQueries
+	s.Decide(wire.Request{Key: "k7"})
+	if s.Stats().DBQueries != q0 {
+		t.Fatal("preloaded key hit the database")
+	}
+}
+
+func TestFailOpenAndFailClosed(t *testing.T) {
+	// Use a store over a closed server so every query errors.
+	engine := minisql.NewEngine()
+	srv, err := minisql.NewServer(engine, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := minisql.NewPool(srv.Addr(), 1)
+	db := store.New(pool)
+	srv.Close()
+
+	closed := newServer(t, Config{Store: db, FailOpen: false})
+	if resp := closed.Decide(wire.Request{Key: "a"}); resp.Allow {
+		t.Fatal("fail-closed server admitted during DB outage")
+	}
+	open := newServer(t, Config{Store: db, FailOpen: true})
+	if resp := open.Decide(wire.Request{Key: "a"}); !resp.Allow {
+		t.Fatal("fail-open server denied during DB outage")
+	}
+	if closed.Stats().DBErrors == 0 || open.Stats().DBErrors == 0 {
+		t.Fatal("DB errors not counted")
+	}
+}
+
+func TestMutexTableKind(t *testing.T) {
+	db := newDB(t, bucket.Rule{Key: "k", RefillRate: 0, Capacity: 1, Credit: 1})
+	s := newServer(t, Config{Store: db, TableKind: table.KindMutex})
+	if resp := s.Decide(wire.Request{Key: "k"}); !resp.Allow {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestStatsAndLatencyHistogram(t *testing.T) {
+	db := newDB(t, bucket.Rule{Key: "k", RefillRate: 0, Capacity: 100, Credit: 100})
+	s := newServer(t, Config{Store: db})
+	for i := 0; i < 10; i++ {
+		s.Decide(wire.Request{Key: "k"})
+	}
+	if s.DecisionLatency().Count() != 0 {
+		// Decide() called directly does not go through the worker path;
+		// latency is recorded only by workers.
+		t.Fatal("direct Decide recorded worker latency")
+	}
+	c, err := transport.Dial(s.Addr(), clientCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := c.Do(wire.Request{Key: "k"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.DecisionLatency().Count() == 0 {
+		t.Fatal("no decision latency recorded via UDP path")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	s := newServer(t, Config{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMalformedDatagramCounted(t *testing.T) {
+	s := newServer(t, Config{})
+	c, err := transport.Dial(s.Addr(), transport.Config{Timeout: 5 * time.Millisecond, Retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Valid traffic still works around garbage.
+	conn := mustRawUDP(t, s.Addr())
+	conn.Write([]byte("not a janus packet"))
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Malformed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("malformed datagram not counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func mustRawUDP(t *testing.T, addr string) *connWrapper {
+	t.Helper()
+	c, err := netDial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}

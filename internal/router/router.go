@@ -1,0 +1,257 @@
+// Package router implements the Janus request router (paper §II-B, §III-B,
+// Fig 2).
+//
+// The router is a stateless HTTP front end. For each QoS request it
+// computes
+//
+//	seed = CRC32(QoS key)
+//	n    = seed mod N
+//
+// and forwards the request over UDP to QoS server n. With a fixed number of
+// QoS servers, requests for the same key always land on the same server —
+// regardless of which router instance handles them — which is what
+// partitions the key space without any coordination. Statelessness is what
+// lets the router layer scale in and out freely (§II-B).
+//
+// The UDP exchange uses the 100 µs/5-retry discipline of
+// internal/transport; when all retries are exhausted the router answers
+// with a configurable default reply (§III-B).
+package router
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// SelectBackend returns the index of the QoS server responsible for key
+// among n servers — the paper's routing function. n must be > 0.
+func SelectBackend(key string, n int) int {
+	return int(crc32.ChecksumIEEE([]byte(key)) % uint32(n))
+}
+
+// Resolver turns a backend name into a dialable address. internal/dns
+// resolvers satisfy it; nil means names are already addresses.
+type Resolver interface {
+	ResolveOne(name string) (string, error)
+}
+
+// Config configures a router node.
+type Config struct {
+	// Addr is the HTTP listen address ("127.0.0.1:0" for ephemeral).
+	Addr string
+	// Backends are the QoS server names (resolved via Resolver) or
+	// addresses, in partition order. The slice length fixes N.
+	Backends []string
+	// Resolver resolves backend names; nil treats names as addresses.
+	Resolver Resolver
+	// Transport tunes the UDP client (timeout/retries).
+	Transport transport.Config
+	// DefaultReply is the verdict returned when a QoS server cannot be
+	// reached after all retries (the paper's "default reply"). False —
+	// deny — is the conservative choice.
+	DefaultReply bool
+	// Logger receives operational messages; nil discards.
+	Logger *log.Logger
+}
+
+// Stats are cumulative counters for one router node.
+type Stats struct {
+	Requests       int64 // HTTP QoS requests handled
+	BadRequests    int64 // malformed queries
+	Timeouts       int64 // backend exchanges that exhausted retries
+	DefaultReplies int64 // responses fabricated by the router
+	Redials        int64 // backend reconnects after failure
+}
+
+// Router is a running request-router node.
+type Router struct {
+	cfg      Config
+	ln       net.Listener
+	server   *http.Server
+	backends []*backend
+	logger   *log.Logger
+
+	latency *metrics.Histogram
+
+	requests       metrics.Counter
+	badRequests    metrics.Counter
+	timeouts       metrics.Counter
+	defaultReplies metrics.Counter
+	redials        metrics.Counter
+
+	wg sync.WaitGroup
+}
+
+// backend is one QoS server slot, addressed by name and re-resolved on
+// failure (the DNS-managed master/slave failover path of §III-C).
+type backend struct {
+	name     string
+	resolver Resolver
+	tcfg     transport.Config
+
+	mu     sync.Mutex
+	addr   string
+	client *transport.Client
+}
+
+func (b *backend) getClient() (*transport.Client, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.client != nil {
+		return b.client, nil
+	}
+	addr := b.name
+	if b.resolver != nil {
+		a, err := b.resolver.ResolveOne(b.name)
+		if err != nil {
+			return nil, err
+		}
+		addr = a
+	}
+	c, err := transport.Dial(addr, b.tcfg)
+	if err != nil {
+		return nil, err
+	}
+	b.addr = addr
+	b.client = c
+	return c, nil
+}
+
+// invalidate drops the cached client so the next request re-resolves; used
+// after a timeout, which is how the router notices a failover.
+func (b *backend) invalidate() {
+	b.mu.Lock()
+	if b.client != nil {
+		b.client.Close()
+		b.client = nil
+	}
+	b.mu.Unlock()
+}
+
+func (b *backend) close() {
+	b.mu.Lock()
+	if b.client != nil {
+		b.client.Close()
+		b.client = nil
+	}
+	b.mu.Unlock()
+}
+
+// New starts a router node.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("router: no backends configured")
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("router: listen %s: %w", cfg.Addr, err)
+	}
+	r := &Router{
+		cfg:     cfg,
+		ln:      ln,
+		logger:  logger,
+		latency: metrics.NewHistogram(),
+	}
+	for _, name := range cfg.Backends {
+		r.backends = append(r.backends, &backend{name: name, resolver: cfg.Resolver, tcfg: cfg.Transport})
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc(wire.HTTPPath, r.handleQoS)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok")
+	})
+	r.server = &http.Server{Handler: mux}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.server.Serve(ln)
+	}()
+	return r, nil
+}
+
+// Addr returns the HTTP address the router listens on.
+func (r *Router) Addr() string { return r.ln.Addr().String() }
+
+// NumBackends returns N, the number of QoS server partitions.
+func (r *Router) NumBackends() int { return len(r.backends) }
+
+func (r *Router) handleQoS(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	qreq, err := wire.ParseHTTPQuery(req.URL.Query())
+	if err != nil {
+		r.badRequests.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := r.Route(qreq)
+	r.requests.Inc()
+	r.latency.RecordDuration(time.Since(start))
+	w.Header().Set(wire.HTTPStatusHeader, resp.Status.String())
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, wire.FormatHTTPBody(resp.Allow))
+}
+
+// Route performs the backend selection and UDP exchange for one request.
+// It is exported for in-process deployments and the simulation harness.
+func (r *Router) Route(qreq wire.Request) wire.Response {
+	b := r.backends[SelectBackend(qreq.Key, len(r.backends))]
+	client, err := b.getClient()
+	if err != nil {
+		r.logger.Printf("router: backend %s unavailable: %v", b.name, err)
+		return r.defaultReply()
+	}
+	resp, err := client.Do(qreq)
+	if err != nil {
+		r.timeouts.Inc()
+		// Drop the cached client so the next request re-resolves the
+		// backend name — after a DNS failover this lands on the new master.
+		b.invalidate()
+		r.redials.Inc()
+		return r.defaultReply()
+	}
+	return resp
+}
+
+func (r *Router) defaultReply() wire.Response {
+	r.defaultReplies.Inc()
+	return wire.Response{Allow: r.cfg.DefaultReply, Status: wire.StatusDefaultReply}
+}
+
+// Stats returns a snapshot of the router counters.
+func (r *Router) Stats() Stats {
+	return Stats{
+		Requests:       r.requests.Value(),
+		BadRequests:    r.badRequests.Value(),
+		Timeouts:       r.timeouts.Value(),
+		DefaultReplies: r.defaultReplies.Value(),
+		Redials:        r.redials.Value(),
+	}
+}
+
+// Latency returns the HTTP-request latency histogram.
+func (r *Router) Latency() *metrics.Histogram { return r.latency }
+
+// Close shuts down the router.
+func (r *Router) Close() error {
+	err := r.server.Close()
+	for _, b := range r.backends {
+		b.close()
+	}
+	r.wg.Wait()
+	return err
+}

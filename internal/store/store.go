@@ -1,0 +1,141 @@
+// Package store is the typed data-access layer for the qos_rules table
+// (paper §III-D): "The QoS rules table includes four columns - the QoS key,
+// the refill rate, the capacity of the leaky bucket, and the remaining
+// credit in the bucket."
+//
+// It runs over any Executor — the in-process minisql engine, a pooled TCP
+// client to a remote minisql server, or the HA failover wrapper — so the QoS
+// server code is identical in every deployment shape.
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/bucket"
+	"repro/internal/minisql"
+)
+
+// TableName is the rules table.
+const TableName = "qos_rules"
+
+// Executor abstracts statement execution (engine, client, pool, failover).
+type Executor interface {
+	Execute(sql string, args ...minisql.Value) (minisql.Result, error)
+}
+
+// Store provides typed access to QoS rules.
+type Store struct {
+	db Executor
+}
+
+// New wraps an executor.
+func New(db Executor) *Store { return &Store{db: db} }
+
+// Init creates the rules table if it does not exist.
+func (s *Store) Init() error {
+	_, err := s.db.Execute(`CREATE TABLE IF NOT EXISTS qos_rules (key TEXT PRIMARY KEY, refill_rate FLOAT, capacity FLOAT, credit FLOAT)`)
+	return err
+}
+
+func ruleFromRow(row []minisql.Value) (bucket.Rule, error) {
+	if len(row) != 4 {
+		return bucket.Rule{}, fmt.Errorf("store: row arity %d, want 4", len(row))
+	}
+	return bucket.Rule{
+		Key:        row[0].AsText(),
+		RefillRate: row[1].AsFloat(),
+		Capacity:   row[2].AsFloat(),
+		Credit:     row[3].AsFloat(),
+	}, nil
+}
+
+// Get fetches one rule by QoS key; found is false when the key is absent
+// (the caller then applies the default rule, §II-D).
+func (s *Store) Get(key string) (rule bucket.Rule, found bool, err error) {
+	res, err := s.db.Execute(`SELECT key, refill_rate, capacity, credit FROM qos_rules WHERE key = ?`, minisql.Text(key))
+	if err != nil {
+		return bucket.Rule{}, false, err
+	}
+	if len(res.Rows) == 0 {
+		return bucket.Rule{}, false, nil
+	}
+	r, err := ruleFromRow(res.Rows[0])
+	return r, err == nil, err
+}
+
+// Put inserts or replaces a rule.
+func (s *Store) Put(r bucket.Rule) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	_, err := s.db.Execute(`REPLACE INTO qos_rules VALUES (?, ?, ?, ?)`,
+		minisql.Text(r.Key), minisql.Float(r.RefillRate), minisql.Float(r.Capacity), minisql.Float(r.Credit))
+	return err
+}
+
+// PutAll inserts rules in batches (used to seed large experiments).
+func (s *Store) PutAll(rules []bucket.Rule) error {
+	for _, r := range rules {
+		if err := s.Put(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes a rule; it reports whether the key existed.
+func (s *Store) Delete(key string) (bool, error) {
+	res, err := s.db.Execute(`DELETE FROM qos_rules WHERE key = ?`, minisql.Text(key))
+	if err != nil {
+		return false, err
+	}
+	return res.Affected > 0, nil
+}
+
+// LoadAll returns every rule — the paper's warm-up "SELECT * FROM
+// qos_rules" that pulls the table into memory.
+func (s *Store) LoadAll() ([]bucket.Rule, error) {
+	res, err := s.db.Execute(`SELECT key, refill_rate, capacity, credit FROM qos_rules`)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bucket.Rule, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		r, err := ruleFromRow(row)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Checkpoint writes back the current credit for one key (§II-D
+// check-pointing). A key absent from the database (default-rule key) is a
+// no-op, not an error.
+func (s *Store) Checkpoint(key string, credit float64) error {
+	_, err := s.db.Execute(`UPDATE qos_rules SET credit = ? WHERE key = ?`,
+		minisql.Float(credit), minisql.Text(key))
+	return err
+}
+
+// CheckpointBatch writes back credits for many keys, returning the first
+// error after attempting all keys.
+func (s *Store) CheckpointBatch(credits map[string]float64) error {
+	var firstErr error
+	for k, c := range credits {
+		if err := s.Checkpoint(k, c); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Count returns the number of rules.
+func (s *Store) Count() (int64, error) {
+	res, err := s.db.Execute(`SELECT COUNT(*) FROM qos_rules`)
+	if err != nil {
+		return 0, err
+	}
+	return res.Rows[0][0].AsInt(), nil
+}

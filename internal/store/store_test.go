@@ -1,0 +1,227 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/bucket"
+	"repro/internal/minisql"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s := New(minisql.NewEngine())
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestInitIdempotent(t *testing.T) {
+	s := newStore(t)
+	if err := s.Init(); err != nil {
+		t.Fatalf("second Init: %v", err)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := newStore(t)
+	want := bucket.Rule{Key: "user-1", RefillRate: 100, Capacity: 1000, Credit: 800}
+	if err := s.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := s.Get("user-1")
+	if err != nil || !found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := newStore(t)
+	_, found, err := s.Get("ghost")
+	if err != nil || found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+}
+
+func TestPutRejectsInvalidRule(t *testing.T) {
+	s := newStore(t)
+	if err := s.Put(bucket.Rule{Key: "", RefillRate: 1, Capacity: 1}); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := s.Put(bucket.Rule{Key: "k", RefillRate: -1, Capacity: 1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestPutReplacesExisting(t *testing.T) {
+	s := newStore(t)
+	s.Put(bucket.Rule{Key: "k", RefillRate: 1, Capacity: 10, Credit: 10})
+	s.Put(bucket.Rule{Key: "k", RefillRate: 2, Capacity: 20, Credit: 5})
+	got, _, _ := s.Get("k")
+	if got.RefillRate != 2 || got.Capacity != 20 || got.Credit != 5 {
+		t.Fatalf("got %+v", got)
+	}
+	if n, _ := s.Count(); n != 1 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := newStore(t)
+	s.Put(bucket.Rule{Key: "k", RefillRate: 1, Capacity: 1, Credit: 1})
+	ok, err := s.Delete("k")
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	ok, err = s.Delete("k")
+	if err != nil || ok {
+		t.Fatalf("second delete: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestLoadAll(t *testing.T) {
+	s := newStore(t)
+	for i := 0; i < 25; i++ {
+		s.Put(bucket.Rule{Key: fmt.Sprintf("k%d", i), RefillRate: float64(i), Capacity: 100, Credit: 100})
+	}
+	rules, err := s.LoadAll()
+	if err != nil || len(rules) != 25 {
+		t.Fatalf("len=%d err=%v", len(rules), err)
+	}
+	seen := map[string]bool{}
+	for _, r := range rules {
+		seen[r.Key] = true
+		if err := r.Validate(); err != nil {
+			t.Errorf("invalid rule loaded: %v", err)
+		}
+	}
+	if len(seen) != 25 {
+		t.Fatalf("duplicates in LoadAll: %d unique", len(seen))
+	}
+}
+
+func TestCheckpoint(t *testing.T) {
+	s := newStore(t)
+	s.Put(bucket.Rule{Key: "k", RefillRate: 1, Capacity: 100, Credit: 100})
+	if err := s.Checkpoint("k", 42.5); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := s.Get("k")
+	if got.Credit != 42.5 {
+		t.Fatalf("credit = %v", got.Credit)
+	}
+	// Checkpointing an unknown (default-rule) key is a silent no-op.
+	if err := s.Checkpoint("unknown", 1); err != nil {
+		t.Fatalf("checkpoint unknown key: %v", err)
+	}
+}
+
+func TestCheckpointBatch(t *testing.T) {
+	s := newStore(t)
+	for i := 0; i < 5; i++ {
+		s.Put(bucket.Rule{Key: fmt.Sprintf("k%d", i), RefillRate: 1, Capacity: 100, Credit: 100})
+	}
+	batch := map[string]float64{"k0": 1, "k1": 2, "k4": 5, "ghost": 9}
+	if err := s.CheckpointBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range map[string]float64{"k0": 1, "k1": 2, "k2": 100, "k4": 5} {
+		got, _, _ := s.Get(k)
+		if got.Credit != want {
+			t.Errorf("%s credit = %v, want %v", k, got.Credit, want)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	s := newStore(t)
+	if n, err := s.Count(); err != nil || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	s.Put(bucket.Rule{Key: "a", RefillRate: 1, Capacity: 1, Credit: 1})
+	if n, _ := s.Count(); n != 1 {
+		t.Fatalf("n=%d", n)
+	}
+}
+
+// failingExecutor returns an error for every statement.
+type failingExecutor struct{}
+
+func (failingExecutor) Execute(string, ...minisql.Value) (minisql.Result, error) {
+	return minisql.Result{}, errors.New("db down")
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	s := New(failingExecutor{})
+	if err := s.Init(); err == nil {
+		t.Error("Init")
+	}
+	if _, _, err := s.Get("k"); err == nil {
+		t.Error("Get")
+	}
+	if err := s.Put(bucket.Rule{Key: "k", RefillRate: 1, Capacity: 1, Credit: 1}); err == nil {
+		t.Error("Put")
+	}
+	if _, err := s.Delete("k"); err == nil {
+		t.Error("Delete")
+	}
+	if _, err := s.LoadAll(); err == nil {
+		t.Error("LoadAll")
+	}
+	if err := s.Checkpoint("k", 1); err == nil {
+		t.Error("Checkpoint")
+	}
+	if err := s.CheckpointBatch(map[string]float64{"k": 1}); err == nil {
+		t.Error("CheckpointBatch")
+	}
+	if _, err := s.Count(); err == nil {
+		t.Error("Count")
+	}
+}
+
+func TestStoreOverTCP(t *testing.T) {
+	// The same DAO works over the network client, as in the real deployment.
+	engine := minisql.NewEngine()
+	srv, err := minisql.NewServer(engine, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	pool := minisql.NewPool(srv.Addr(), 2)
+	defer pool.Close()
+	s := New(pool)
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+	want := bucket.Rule{Key: "net", RefillRate: 7, Capacity: 70, Credit: 70}
+	if err := s.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := s.Get("net")
+	if err != nil || !found || got != want {
+		t.Fatalf("got %+v found=%v err=%v", got, found, err)
+	}
+}
+
+func TestPutAll(t *testing.T) {
+	s := newStore(t)
+	rules := make([]bucket.Rule, 10)
+	for i := range rules {
+		rules[i] = bucket.Rule{Key: fmt.Sprintf("r%d", i), RefillRate: 1, Capacity: 10, Credit: 10}
+	}
+	if err := s.PutAll(rules); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.Count(); n != 10 {
+		t.Fatalf("count = %d", n)
+	}
+	// PutAll with an invalid rule fails fast.
+	if err := s.PutAll([]bucket.Rule{{Key: ""}}); err == nil {
+		t.Fatal("invalid rule accepted")
+	}
+}

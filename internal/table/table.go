@@ -1,0 +1,265 @@
+// Package table provides the local QoS rule table held by each QoS server
+// (paper §III-C: "The local QoS table is represented by a synchronized hash
+// map, where the key is the QoS key and the value is the leaky bucket").
+//
+// Two implementations are provided behind the Table interface:
+//
+//   - Mutex: one lock around one map — the paper's original design. §V-C
+//     attributes the observed CPU under-utilization on the QoS server layer
+//     to "the implementation of the locking mechanism being used to manage
+//     the QoS rules in the local QoS table" and defers optimization to
+//     future work.
+//   - Sharded: the future-work optimization — the key space is split across
+//     independently locked shards chosen by a string hash, eliminating the
+//     global serialization point.
+//
+// The ablation benchmark BenchmarkAblationTableSharding quantifies the
+// difference.
+package table
+
+import (
+	"hash/crc32"
+	"sync"
+	"time"
+
+	"repro/internal/bucket"
+)
+
+// Table is a concurrent map from QoS key to leaky bucket.
+type Table interface {
+	// Get returns the bucket for key, or nil if absent.
+	Get(key string) *bucket.Bucket
+	// GetOrCreate returns the bucket for key, creating it with factory
+	// (called at most once per insertion) when absent. The bool reports
+	// whether a new bucket was created.
+	GetOrCreate(key string, factory func() *bucket.Bucket) (*bucket.Bucket, bool)
+	// Put inserts or replaces the bucket for key.
+	Put(key string, b *bucket.Bucket)
+	// Delete removes key; it reports whether the key was present.
+	Delete(key string) bool
+	// Len returns the number of entries.
+	Len() int
+	// Range calls fn for every entry until fn returns false. The iteration
+	// order is unspecified and entries inserted concurrently may or may not
+	// be visited.
+	Range(fn func(key string, b *bucket.Bucket) bool)
+	// RefillAll brings every bucket's credit current to now; used by the
+	// housekeeping thread under the tick-refill discipline.
+	RefillAll(now time.Time)
+}
+
+// Mutex is the paper's original single-lock synchronized hash map.
+type Mutex struct {
+	mu sync.Mutex
+	m  map[string]*bucket.Bucket
+}
+
+// NewMutex returns an empty single-lock table.
+func NewMutex() *Mutex { return &Mutex{m: make(map[string]*bucket.Bucket)} }
+
+// Get implements Table.
+func (t *Mutex) Get(key string) *bucket.Bucket {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m[key]
+}
+
+// GetOrCreate implements Table.
+func (t *Mutex) GetOrCreate(key string, factory func() *bucket.Bucket) (*bucket.Bucket, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b, ok := t.m[key]; ok {
+		return b, false
+	}
+	b := factory()
+	t.m[key] = b
+	return b, true
+}
+
+// Put implements Table.
+func (t *Mutex) Put(key string, b *bucket.Bucket) {
+	t.mu.Lock()
+	t.m[key] = b
+	t.mu.Unlock()
+}
+
+// Delete implements Table.
+func (t *Mutex) Delete(key string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.m[key]; !ok {
+		return false
+	}
+	delete(t.m, key)
+	return true
+}
+
+// Len implements Table.
+func (t *Mutex) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// Range implements Table. The lock is held for the duration of iteration,
+// which is the serialization cost the sharded variant removes.
+func (t *Mutex) Range(fn func(string, *bucket.Bucket) bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k, b := range t.m {
+		if !fn(k, b) {
+			return
+		}
+	}
+}
+
+// RefillAll implements Table.
+func (t *Mutex) RefillAll(now time.Time) {
+	t.Range(func(_ string, b *bucket.Bucket) bool {
+		b.Refill(now)
+		return true
+	})
+}
+
+// Sharded splits the key space across independently locked shards.
+type Sharded struct {
+	shards []shard
+	mask   uint32
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]*bucket.Bucket
+}
+
+// DefaultShards is the shard count used by NewSharded when 0 is passed.
+const DefaultShards = 64
+
+// NewSharded returns a table with n shards; n is rounded up to a power of
+// two, and n <= 0 selects DefaultShards.
+func NewSharded(n int) *Sharded {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	t := &Sharded{shards: make([]shard, size), mask: uint32(size - 1)}
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]*bucket.Bucket)
+	}
+	return t
+}
+
+func (t *Sharded) shardFor(key string) *shard {
+	return &t.shards[crc32.ChecksumIEEE([]byte(key))&t.mask]
+}
+
+// Get implements Table.
+func (t *Sharded) Get(key string) *bucket.Bucket {
+	s := t.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[key]
+}
+
+// GetOrCreate implements Table.
+func (t *Sharded) GetOrCreate(key string, factory func() *bucket.Bucket) (*bucket.Bucket, bool) {
+	s := t.shardFor(key)
+	s.mu.RLock()
+	b, ok := s.m[key]
+	s.mu.RUnlock()
+	if ok {
+		return b, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.m[key]; ok {
+		return b, false
+	}
+	b = factory()
+	s.m[key] = b
+	return b, true
+}
+
+// Put implements Table.
+func (t *Sharded) Put(key string, b *bucket.Bucket) {
+	s := t.shardFor(key)
+	s.mu.Lock()
+	s.m[key] = b
+	s.mu.Unlock()
+}
+
+// Delete implements Table.
+func (t *Sharded) Delete(key string) bool {
+	s := t.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[key]; !ok {
+		return false
+	}
+	delete(s.m, key)
+	return true
+}
+
+// Len implements Table.
+func (t *Sharded) Len() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Range implements Table. Each shard's lock is held only while that shard is
+// iterated, so concurrent access to other shards proceeds unimpeded.
+func (t *Sharded) Range(fn func(string, *bucket.Bucket) bool) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for k, b := range s.m {
+			if !fn(k, b) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// RefillAll implements Table.
+func (t *Sharded) RefillAll(now time.Time) {
+	t.Range(func(_ string, b *bucket.Bucket) bool {
+		b.Refill(now)
+		return true
+	})
+}
+
+// Kind names a table implementation for configuration.
+type Kind string
+
+// Supported table kinds.
+const (
+	KindMutex   Kind = "mutex"
+	KindSharded Kind = "sharded"
+)
+
+// New constructs a table of the given kind; unknown kinds fall back to
+// sharded with default shard count.
+func New(kind Kind) Table {
+	switch kind {
+	case KindMutex:
+		return NewMutex()
+	default:
+		return NewSharded(0)
+	}
+}
+
+var (
+	_ Table = (*Mutex)(nil)
+	_ Table = (*Sharded)(nil)
+)

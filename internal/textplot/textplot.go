@@ -1,0 +1,117 @@
+// Package textplot renders small ASCII charts for the experiment harness,
+// so `janus-bench` output resembles the paper's figures: horizontal bar
+// charts for scaling curves and multi-series traces for time series.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value in a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders a horizontal bar chart. width is the maximum bar length
+// in characters; unit annotates the values.
+func BarChart(bars []Bar, width int, unit string) string {
+	if width <= 0 {
+		width = 50
+	}
+	var max float64
+	labelW := 0
+	for _, b := range bars {
+		if b.Value > max {
+			max = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	for _, b := range bars {
+		n := 0
+		if max > 0 {
+			n = int(math.Round(b.Value / max * float64(width)))
+		}
+		if b.Value > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&sb, "%-*s |%s%s %.0f%s\n",
+			labelW, b.Label, strings.Repeat("█", n), strings.Repeat(" ", width-n), b.Value, unit)
+	}
+	return sb.String()
+}
+
+// Series is one named trace for a line chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// seriesGlyphs mark the traces, in order.
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// LineChart renders multiple series as a height×width character grid with a
+// y-axis scaled to the global maximum. X positions are sampled uniformly
+// from each series.
+func LineChart(series []Series, width, height int) string {
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 12
+	}
+	var max float64
+	maxLen := 0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > max {
+				max = v
+			}
+		}
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	if maxLen == 0 || max <= 0 {
+		return "(no data)\n"
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for col := 0; col < width; col++ {
+			idx := col * len(s.Values) / width
+			if idx >= len(s.Values) {
+				idx = len(s.Values) - 1
+			}
+			v := s.Values[idx]
+			row := height - 1 - int(math.Round(v/max*float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = glyph
+		}
+	}
+	var sb strings.Builder
+	for r, line := range grid {
+		yVal := max * float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&sb, "%10.0f |%s\n", yVal, string(line))
+	}
+	fmt.Fprintf(&sb, "%10s +%s\n", "", strings.Repeat("-", width))
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", seriesGlyphs[si%len(seriesGlyphs)], s.Name))
+	}
+	fmt.Fprintf(&sb, "%11s %s\n", "", strings.Join(legend, "  "))
+	return sb.String()
+}

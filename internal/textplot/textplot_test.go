@@ -1,0 +1,94 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartProportions(t *testing.T) {
+	out := BarChart([]Bar{
+		{"a", 100},
+		{"bb", 50},
+		{"ccc", 0},
+	}, 10, " req/s")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d\n%s", len(lines), out)
+	}
+	if strings.Count(lines[0], "█") != 10 {
+		t.Fatalf("max bar not full width:\n%s", out)
+	}
+	if strings.Count(lines[1], "█") != 5 {
+		t.Fatalf("half bar wrong:\n%s", out)
+	}
+	if strings.Count(lines[2], "█") != 0 {
+		t.Fatalf("zero bar drawn:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "100 req/s") {
+		t.Fatalf("value/unit missing:\n%s", out)
+	}
+	// Labels aligned.
+	if !strings.HasPrefix(lines[0], "a   |") || !strings.HasPrefix(lines[2], "ccc |") {
+		t.Fatalf("labels misaligned:\n%s", out)
+	}
+}
+
+func TestBarChartTinyValueVisible(t *testing.T) {
+	out := BarChart([]Bar{{"big", 1000}, {"tiny", 1}}, 20, "")
+	lines := strings.Split(out, "\n")
+	if strings.Count(lines[1], "█") != 1 {
+		t.Fatalf("tiny value invisible:\n%s", out)
+	}
+}
+
+func TestBarChartDefaults(t *testing.T) {
+	out := BarChart([]Bar{{"x", 1}}, 0, "")
+	if !strings.Contains(out, "█") {
+		t.Fatal("default width produced no bar")
+	}
+}
+
+func TestLineChartBasic(t *testing.T) {
+	out := LineChart([]Series{
+		{Name: "up", Values: []float64{0, 25, 50, 75, 100}},
+	}, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "*=up") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// 5 grid rows + axis + legend.
+	if len(lines) < 7 {
+		t.Fatalf("structure wrong:\n%s", out)
+	}
+	// Rising series: glyph in the top row must appear to the right of the
+	// glyph in the bottom row.
+	top, bottom := lines[0], lines[4]
+	if strings.LastIndex(top, "*") < strings.Index(bottom, "*") {
+		t.Fatalf("series not rising:\n%s", out)
+	}
+}
+
+func TestLineChartMultiSeriesGlyphs(t *testing.T) {
+	out := LineChart([]Series{
+		{Name: "a", Values: []float64{1, 1, 1}},
+		{Name: "b", Values: []float64{2, 2, 2}},
+	}, 10, 4)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*=a") || !strings.Contains(out, "o=b") {
+		t.Fatalf("legend wrong:\n%s", out)
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	if out := LineChart(nil, 10, 5); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart = %q", out)
+	}
+	if out := LineChart([]Series{{Name: "z", Values: []float64{0, 0}}}, 10, 5); !strings.Contains(out, "no data") {
+		t.Fatalf("all-zero chart = %q", out)
+	}
+}

@@ -1,0 +1,256 @@
+// Package transport implements the UDP communication discipline between the
+// request router and the QoS server (paper §III-B).
+//
+// The paper chooses UDP over TCP because admission-control traffic is a
+// very high volume of tiny request/response exchanges, and "the overhead of
+// opening and closing a large volume of short-lived TCP connections is too
+// expensive". UDP is unreliable, so the router compensates with a short
+// per-attempt timeout and a bounded number of retries: "we use a
+// 100-microsecond communication timeout and a maximum number of 5 retries".
+// Requests are idempotent-enough for retransmission (a retried consume may
+// in the worst case double-charge one credit, which the paper accepts).
+//
+// Client is safe for concurrent use: each in-flight request gets a unique
+// ID, responses are matched by ID, and a single reader goroutine fans
+// responses out to waiters.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Defaults from the paper (§III-B).
+const (
+	// DefaultTimeout is the per-attempt response timeout. The paper uses
+	// 100 µs inside one EC2 availability zone; on loopback with Go
+	// schedulers in the path the same discipline applies.
+	DefaultTimeout = 100 * time.Microsecond
+	// DefaultRetries is the maximum number of attempts.
+	DefaultRetries = 5
+)
+
+// ErrTimeout is returned when all attempts expire without a response.
+var ErrTimeout = errors.New("transport: request timed out after all retries")
+
+// Config tunes a Client.
+type Config struct {
+	// Timeout is the per-attempt wait (DefaultTimeout if zero).
+	Timeout time.Duration
+	// Retries is the maximum number of attempts (DefaultRetries if zero).
+	Retries int
+	// Delay, when non-nil, is invoked once per attempt and may sleep to
+	// model network latency (used by experiments; nil in production).
+	Delay func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.Retries <= 0 {
+		c.Retries = DefaultRetries
+	}
+	return c
+}
+
+// Client issues QoS requests to one QoS server address over a single UDP
+// socket.
+type Client struct {
+	cfg    Config
+	conn   *net.UDPConn
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	waiters map[uint64]chan wire.Response
+	closed  bool
+
+	// stats
+	attempts  atomic.Int64
+	timeouts  atomic.Int64
+	responses atomic.Int64
+}
+
+// Dial creates a client bound to the QoS server at addr ("host:port").
+func Dial(addr string, cfg Config) (*Client, error) {
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %s: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		cfg:     cfg.withDefaults(),
+		conn:    conn,
+		waiters: make(map[uint64]chan wire.Response),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	buf := make([]byte, wire.MaxDatagram)
+	for {
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			return // socket closed
+		}
+		resp, err := wire.DecodeResponse(buf[:n])
+		if err != nil {
+			continue // corrupt datagram; the sender will retry
+		}
+		c.responses.Add(1)
+		c.mu.Lock()
+		ch := c.waiters[resp.ID]
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- resp:
+			default: // duplicate response for an already-answered request
+			}
+		}
+	}
+}
+
+// Do sends req and waits for the matching response, retrying per the
+// configured discipline. On exhaustion it returns ErrTimeout — the caller
+// (the request router) then substitutes its default reply.
+func (c *Client) Do(req wire.Request) (wire.Response, error) {
+	req.ID = c.nextID.Add(1)
+	packet, err := wire.EncodeRequest(req)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	ch := make(chan wire.Response, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return wire.Response{}, net.ErrClosed
+	}
+	c.waiters[req.ID] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiters, req.ID)
+		c.mu.Unlock()
+	}()
+
+	timer := time.NewTimer(c.cfg.Timeout)
+	defer timer.Stop()
+	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
+		if c.cfg.Delay != nil {
+			c.cfg.Delay()
+		}
+		c.attempts.Add(1)
+		if _, err := c.conn.Write(packet); err != nil {
+			return wire.Response{}, fmt.Errorf("transport: send: %w", err)
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(c.cfg.Timeout)
+		select {
+		case resp := <-ch:
+			return resp, nil
+		case <-timer.C:
+			c.timeouts.Add(1)
+		}
+	}
+	return wire.Response{}, ErrTimeout
+}
+
+// Stats reports cumulative attempt/timeout/response counts.
+func (c *Client) Stats() (attempts, timeouts, responses int64) {
+	return c.attempts.Load(), c.timeouts.Load(), c.responses.Load()
+}
+
+// Close releases the socket.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// Handler processes one decoded request and returns the response to send.
+// The request ID is managed by Server.
+type Handler func(req wire.Request) wire.Response
+
+// Server is a UDP listener that decodes requests, hands them to a handler,
+// and writes responses back to the requester's address. The QoS server
+// builds its listener/FIFO/worker pipeline on top of the lower-level
+// PacketConn directly; this Server is the simple synchronous variant used
+// by tests and small tools.
+type Server struct {
+	conn    *net.UDPConn
+	handler Handler
+	wg      sync.WaitGroup
+	// DropEvery, when > 0, drops every Nth request (fault injection).
+	dropEvery atomic.Int64
+	seen      atomic.Int64
+}
+
+// NewServer starts a synchronous UDP server on addr ("127.0.0.1:0" for an
+// ephemeral port).
+func NewServer(addr string, handler Handler) (*Server, error) {
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &Server{conn: conn, handler: handler}
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// SetDropEvery makes the server silently drop every nth datagram (n <= 0
+// disables). Used to exercise the retry path.
+func (s *Server) SetDropEvery(n int64) { s.dropEvery.Store(n) }
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
+
+func (s *Server) serve() {
+	defer s.wg.Done()
+	buf := make([]byte, wire.MaxDatagram)
+	out := make([]byte, 0, 64)
+	for {
+		n, raddr, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		if d := s.dropEvery.Load(); d > 0 && s.seen.Add(1)%d == 0 {
+			continue
+		}
+		req, err := wire.DecodeRequest(buf[:n])
+		if err != nil {
+			continue
+		}
+		resp := s.handler(req)
+		resp.ID = req.ID
+		out = wire.AppendResponse(out[:0], resp)
+		s.conn.WriteToUDP(out, raddr)
+	}
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// HTTP mapping of the key-value protocol: the QoS client issues
+//
+//	GET /qos?key=<QoS key>[&cost=<credits>]
+//
+// and the router answers 200 with body "true" or "false" (paper §II: "The
+// QoS response is a boolean value").
+const (
+	// HTTPPath is the admission endpoint served by the request router.
+	HTTPPath = "/qos"
+	// HTTPKeyParam is the query parameter carrying the QoS key.
+	HTTPKeyParam = "key"
+	// HTTPCostParam optionally carries a non-default credit cost.
+	HTTPCostParam = "cost"
+	// HTTPStatusHeader reports the wire.Status of the decision.
+	HTTPStatusHeader = "X-Janus-Status"
+	// BodyAllow and BodyDeny are the two legal response bodies.
+	BodyAllow = "true"
+	BodyDeny  = "false"
+)
+
+// FormatHTTPQuery renders the request-URI (path + query) for a request.
+func FormatHTTPQuery(req Request) string {
+	v := url.Values{}
+	v.Set(HTTPKeyParam, req.Key)
+	if req.Cost != 0 && req.Cost != 1 {
+		v.Set(HTTPCostParam, strconv.FormatFloat(req.Cost, 'f', -1, 64))
+	}
+	return HTTPPath + "?" + v.Encode()
+}
+
+// ParseHTTPQuery extracts a Request from URL query values. A missing cost
+// defaults to 1 credit.
+func ParseHTTPQuery(values url.Values) (Request, error) {
+	key := values.Get(HTTPKeyParam)
+	if key == "" {
+		return Request{}, fmt.Errorf("wire: missing %q query parameter", HTTPKeyParam)
+	}
+	if len(key) > MaxKeyLen {
+		return Request{}, ErrKeyTooLong
+	}
+	req := Request{Key: key, Cost: 1}
+	if c := values.Get(HTTPCostParam); c != "" {
+		cost, err := strconv.ParseFloat(c, 64)
+		if err != nil || cost < 0 {
+			return Request{}, fmt.Errorf("wire: invalid cost %q", c)
+		}
+		req.Cost = cost
+	}
+	return req, nil
+}
+
+// FormatHTTPBody renders the response body for an admission decision.
+func FormatHTTPBody(allow bool) string {
+	if allow {
+		return BodyAllow
+	}
+	return BodyDeny
+}
+
+// ParseHTTPBody interprets a response body.
+func ParseHTTPBody(body string) (bool, error) {
+	switch strings.TrimSpace(body) {
+	case BodyAllow:
+		return true, nil
+	case BodyDeny:
+		return false, nil
+	default:
+		return false, fmt.Errorf("wire: invalid response body %q", body)
+	}
+}

@@ -1,0 +1,246 @@
+// Package wire defines the key-value request/response protocol spoken
+// between Janus layers (paper §I: "Janus also adopts a key-value
+// request-response mechanism for easy integration with the actual
+// application").
+//
+// Two encodings are defined:
+//
+//   - A compact binary datagram format used on the UDP path between the
+//     request router and the QoS server. Requests are idempotent and carry a
+//     request ID so retransmitted retries (paper §III-B) can be matched to
+//     any response.
+//   - An HTTP mapping used between QoS clients and the request router
+//     (GET /qos?key=K → body "true" or "false").
+//
+// Binary layout (big endian):
+//
+//	offset size  field
+//	0      1     magic 'J'
+//	1      1     version (1)
+//	2      1     type (0 request, 1 response)
+//	3      1     flags
+//	4      8     request id
+//	12     4     CRC32-IEEE of everything after this field
+//	-- request --
+//	16     4     cost (credits, fixed-point 1/1000)
+//	20     2     key length n
+//	22     n     key bytes
+//	-- response --
+//	16     1     verdict (0 deny, 1 allow)
+//	17     1     status
+//
+// The cost field supports weighted admission (one API call may consume more
+// than one credit); the paper's default is cost 1.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Protocol constants.
+const (
+	Magic   = 'J'
+	Version = 1
+
+	typeRequest  = 0
+	typeResponse = 1
+
+	requestHeaderLen  = 22
+	responseLen       = 18
+	costScale         = 1000
+	MaxKeyLen         = math.MaxUint16
+	MaxDatagram       = 64 * 1024
+	checksummedOffset = 16 // bytes [16:] are covered by the CRC
+)
+
+// Status codes carried in responses.
+type Status uint8
+
+// Response statuses.
+const (
+	// StatusOK means the decision came from the key's leaky bucket.
+	StatusOK Status = 0
+	// StatusDefaultRule means the key was absent from the database and the
+	// server applied the configured default rule (paper §II-D).
+	StatusDefaultRule Status = 1
+	// StatusDefaultReply means the router exhausted its retries and
+	// fabricated the response itself (paper §III-B: "the request router
+	// returns a default reply to the QoS client").
+	StatusDefaultReply Status = 2
+	// StatusError means the server failed internally; verdict carries the
+	// fail-open/fail-closed default.
+	StatusError Status = 3
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusDefaultRule:
+		return "default-rule"
+	case StatusDefaultReply:
+		return "default-reply"
+	case StatusError:
+		return "error"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Request is a QoS admission query for one key.
+type Request struct {
+	// ID correlates retransmissions with responses.
+	ID uint64
+	// Key is the QoS key.
+	Key string
+	// Cost is the number of credits this call consumes (default 1).
+	Cost float64
+}
+
+// Response is the boolean admission decision.
+type Response struct {
+	// ID echoes the request ID.
+	ID uint64
+	// Allow is TRUE to admit, FALSE to deny (the paper's QoS response).
+	Allow bool
+	// Status qualifies how the decision was produced.
+	Status Status
+}
+
+// Decode errors.
+var (
+	ErrTruncated   = errors.New("wire: truncated packet")
+	ErrBadMagic    = errors.New("wire: bad magic byte")
+	ErrBadVersion  = errors.New("wire: unsupported version")
+	ErrBadType     = errors.New("wire: unexpected packet type")
+	ErrBadChecksum = errors.New("wire: checksum mismatch")
+	ErrKeyTooLong  = errors.New("wire: key exceeds 65535 bytes")
+)
+
+func putHeader(buf []byte, typ byte, id uint64) {
+	buf[0] = Magic
+	buf[1] = Version
+	buf[2] = typ
+	buf[3] = 0
+	binary.BigEndian.PutUint64(buf[4:], id)
+}
+
+func seal(buf []byte) {
+	binary.BigEndian.PutUint32(buf[12:], crc32.ChecksumIEEE(buf[checksummedOffset:]))
+}
+
+func checkHeader(buf []byte, wantType byte) error {
+	if len(buf) < checksummedOffset {
+		return ErrTruncated
+	}
+	if buf[0] != Magic {
+		return ErrBadMagic
+	}
+	if buf[1] != Version {
+		return ErrBadVersion
+	}
+	if buf[2] != wantType {
+		return ErrBadType
+	}
+	if binary.BigEndian.Uint32(buf[12:]) != crc32.ChecksumIEEE(buf[checksummedOffset:]) {
+		return ErrBadChecksum
+	}
+	return nil
+}
+
+// AppendRequest appends the encoded request to dst and returns the extended
+// slice. The cost is clamped to non-negative and rounded to 1/1000 credit.
+func AppendRequest(dst []byte, req Request) ([]byte, error) {
+	if len(req.Key) > MaxKeyLen {
+		return dst, ErrKeyTooLong
+	}
+	cost := req.Cost
+	if cost < 0 {
+		cost = 0
+	}
+	scaled := uint64(math.Round(cost * costScale))
+	if scaled > math.MaxUint32 {
+		scaled = math.MaxUint32
+	}
+	start := len(dst)
+	need := requestHeaderLen + len(req.Key)
+	for cap(dst)-start < need {
+		dst = append(dst[:cap(dst)], 0)
+	}
+	dst = dst[:start+need]
+	buf := dst[start:]
+	putHeader(buf, typeRequest, req.ID)
+	binary.BigEndian.PutUint32(buf[16:], uint32(scaled))
+	binary.BigEndian.PutUint16(buf[20:], uint16(len(req.Key)))
+	copy(buf[22:], req.Key)
+	seal(buf)
+	return dst, nil
+}
+
+// EncodeRequest encodes req into a fresh buffer.
+func EncodeRequest(req Request) ([]byte, error) {
+	return AppendRequest(make([]byte, 0, requestHeaderLen+len(req.Key)), req)
+}
+
+// DecodeRequest parses a binary request datagram.
+func DecodeRequest(buf []byte) (Request, error) {
+	if err := checkHeader(buf, typeRequest); err != nil {
+		return Request{}, err
+	}
+	if len(buf) < requestHeaderLen {
+		return Request{}, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(buf[20:]))
+	if len(buf) < requestHeaderLen+n {
+		return Request{}, ErrTruncated
+	}
+	return Request{
+		ID:   binary.BigEndian.Uint64(buf[4:]),
+		Cost: float64(binary.BigEndian.Uint32(buf[16:])) / costScale,
+		Key:  string(buf[22 : 22+n]),
+	}, nil
+}
+
+// AppendResponse appends the encoded response to dst.
+func AppendResponse(dst []byte, resp Response) []byte {
+	start := len(dst)
+	for cap(dst)-start < responseLen {
+		dst = append(dst[:cap(dst)], 0)
+	}
+	dst = dst[:start+responseLen]
+	buf := dst[start:]
+	putHeader(buf, typeResponse, resp.ID)
+	if resp.Allow {
+		buf[16] = 1
+	} else {
+		buf[16] = 0
+	}
+	buf[17] = byte(resp.Status)
+	seal(buf)
+	return dst
+}
+
+// EncodeResponse encodes resp into a fresh buffer.
+func EncodeResponse(resp Response) []byte {
+	return AppendResponse(make([]byte, 0, responseLen), resp)
+}
+
+// DecodeResponse parses a binary response datagram.
+func DecodeResponse(buf []byte) (Response, error) {
+	if err := checkHeader(buf, typeResponse); err != nil {
+		return Response{}, err
+	}
+	if len(buf) < responseLen {
+		return Response{}, ErrTruncated
+	}
+	return Response{
+		ID:     binary.BigEndian.Uint64(buf[4:]),
+		Allow:  buf[16] == 1,
+		Status: Status(buf[17]),
+	}, nil
+}

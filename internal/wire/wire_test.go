@@ -1,0 +1,251 @@
+package wire
+
+import (
+	"math"
+	"net/url"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{ID: 0, Key: "a", Cost: 1},
+		{ID: 42, Key: "user-123/db-photos", Cost: 1},
+		{ID: math.MaxUint64, Key: strings.Repeat("x", 1000), Cost: 2.5},
+		{ID: 7, Key: "k", Cost: 0},
+		{ID: 8, Key: "日本語キー", Cost: 0.001},
+	}
+	for _, want := range cases {
+		buf, err := EncodeRequest(want)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", want, err)
+		}
+		got, err := DecodeRequest(buf)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, want := range []Response{
+		{ID: 1, Allow: true, Status: StatusOK},
+		{ID: 2, Allow: false, Status: StatusDefaultRule},
+		{ID: 3, Allow: true, Status: StatusDefaultReply},
+		{ID: math.MaxUint64, Allow: false, Status: StatusError},
+	} {
+		got, err := DecodeResponse(EncodeResponse(want))
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(id uint64, key string, costMilli uint32) bool {
+		if len(key) > MaxKeyLen {
+			key = key[:MaxKeyLen]
+		}
+		want := Request{ID: id, Key: key, Cost: float64(costMilli) / 1000}
+		buf, err := EncodeRequest(want)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeRequest(buf)
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyTooLong(t *testing.T) {
+	_, err := EncodeRequest(Request{Key: strings.Repeat("k", MaxKeyLen+1)})
+	if err != ErrKeyTooLong {
+		t.Fatalf("err = %v, want ErrKeyTooLong", err)
+	}
+}
+
+func TestNegativeCostClamped(t *testing.T) {
+	buf, err := EncodeRequest(Request{ID: 1, Key: "k", Cost: -5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRequest(buf)
+	if err != nil || got.Cost != 0 {
+		t.Fatalf("cost = %v err=%v, want 0", got.Cost, err)
+	}
+}
+
+func TestHugeCostSaturates(t *testing.T) {
+	buf, err := EncodeRequest(Request{ID: 1, Key: "k", Cost: 1e18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRequest(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != float64(math.MaxUint32)/1000 {
+		t.Fatalf("cost = %v, want saturation", got.Cost)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good, _ := EncodeRequest(Request{ID: 9, Key: "hello", Cost: 1})
+
+	t.Run("truncated header", func(t *testing.T) {
+		if _, err := DecodeRequest(good[:10]); err != ErrTruncated {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("truncated key", func(t *testing.T) {
+		if _, err := DecodeRequest(good[:len(good)-2]); err == nil {
+			t.Fatal("no error on truncated key")
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[0] = 'X'
+		if _, err := DecodeRequest(b); err != ErrBadMagic {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[1] = 99
+		if _, err := DecodeRequest(b); err != ErrBadVersion {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("wrong type", func(t *testing.T) {
+		if _, err := DecodeResponse(good); err != ErrBadType {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("corrupt payload", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[len(b)-1] ^= 0xFF
+		if _, err := DecodeRequest(b); err != ErrBadChecksum {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("corrupt cost", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[17] ^= 0x01
+		if _, err := DecodeRequest(b); err != ErrBadChecksum {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestFuzzDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		DecodeRequest(data)
+		DecodeResponse(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 4096)
+	buf, err := AppendRequest(buf, Request{ID: 1, Key: "aaa", Cost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := len(buf)
+	buf, err = AppendRequest(buf, Request{ID: 2, Key: "bbbb", Cost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := DecodeRequest(buf[:first])
+	if err != nil || r1.Key != "aaa" {
+		t.Fatalf("first record: %+v, %v", r1, err)
+	}
+	r2, err := DecodeRequest(buf[first:])
+	if err != nil || r2.Key != "bbbb" {
+		t.Fatalf("second record: %+v, %v", r2, err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		StatusOK:           "ok",
+		StatusDefaultRule:  "default-rule",
+		StatusDefaultReply: "default-reply",
+		StatusError:        "error",
+		Status(77):         "status(77)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestHTTPQueryRoundTrip(t *testing.T) {
+	for _, want := range []Request{
+		{Key: "1.2.3.4", Cost: 1},
+		{Key: "user/db?strange&chars=1", Cost: 2},
+		{Key: "k", Cost: 0.5},
+	} {
+		uri := FormatHTTPQuery(want)
+		u, err := url.Parse(uri)
+		if err != nil {
+			t.Fatalf("parse %q: %v", uri, err)
+		}
+		got, err := ParseHTTPQuery(u.Query())
+		if err != nil {
+			t.Fatalf("ParseHTTPQuery(%q): %v", uri, err)
+		}
+		if got.Key != want.Key || got.Cost != want.Cost {
+			t.Fatalf("round trip %q: got %+v, want %+v", uri, got, want)
+		}
+	}
+}
+
+func TestHTTPQueryDefaultsCostToOne(t *testing.T) {
+	req, err := ParseHTTPQuery(url.Values{HTTPKeyParam: {"k"}})
+	if err != nil || req.Cost != 1 {
+		t.Fatalf("req=%+v err=%v", req, err)
+	}
+}
+
+func TestHTTPQueryErrors(t *testing.T) {
+	if _, err := ParseHTTPQuery(url.Values{}); err == nil {
+		t.Error("missing key accepted")
+	}
+	if _, err := ParseHTTPQuery(url.Values{HTTPKeyParam: {"k"}, HTTPCostParam: {"abc"}}); err == nil {
+		t.Error("bad cost accepted")
+	}
+	if _, err := ParseHTTPQuery(url.Values{HTTPKeyParam: {"k"}, HTTPCostParam: {"-1"}}); err == nil {
+		t.Error("negative cost accepted")
+	}
+	if _, err := ParseHTTPQuery(url.Values{HTTPKeyParam: {strings.Repeat("x", MaxKeyLen+1)}}); err == nil {
+		t.Error("oversized key accepted")
+	}
+}
+
+func TestHTTPBody(t *testing.T) {
+	if FormatHTTPBody(true) != BodyAllow || FormatHTTPBody(false) != BodyDeny {
+		t.Fatal("body formatting wrong")
+	}
+	if v, err := ParseHTTPBody("true\n"); err != nil || !v {
+		t.Fatalf("parse true: %v %v", v, err)
+	}
+	if v, err := ParseHTTPBody(" false "); err != nil || v {
+		t.Fatalf("parse false: %v %v", v, err)
+	}
+	if _, err := ParseHTTPBody("maybe"); err == nil {
+		t.Fatal("invalid body accepted")
+	}
+}
