@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check build test vet race bench-membership
+
+# The full pre-merge gate: static checks, build, and the complete test
+# suite under the race detector.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerates the numbers recorded in BENCH_membership.json.
+bench-membership:
+	$(GO) test -run '^$$' -bench . -benchtime 2s ./internal/membership/

@@ -111,7 +111,8 @@ func BenchmarkFig6KeyPressure(b *testing.B) {
 						continue
 					}
 					seen[k] = true
-					counts[router.SelectBackend(k, servers)]++
+					i, _ := router.SelectBackend(k, servers)
+					counts[i]++
 				}
 				maxPct = 0
 				for _, c := range counts {

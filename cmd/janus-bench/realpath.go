@@ -115,7 +115,8 @@ func runFig6(o options) error {
 				continue
 			}
 			seen[k] = true
-			counts[router.SelectBackend(k, servers)]++
+			i, _ := router.SelectBackend(k, servers)
+			counts[i]++
 		}
 		min, max := math.MaxFloat64, 0.0
 		var w metrics.Welford

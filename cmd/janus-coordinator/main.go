@@ -1,0 +1,53 @@
+// Command janus-coordinator runs the membership coordinator: the single
+// lightweight process that tracks which QoS servers are alive and publishes
+// epoch-versioned views of the cluster.
+//
+// QoS servers register by heartbeating (janusd -coordinator ...); routers
+// poll the view and hot-swap their backend list (janus-router -coordinator
+// ...). Members whose heartbeats stop for a TTL are ejected — and re-admitted
+// at their original partition slot when heartbeats resume.
+//
+// Example:
+//
+//	janus-coordinator -addr 127.0.0.1:7300 -ttl 3s
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/membership"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:7300", "HTTP listen address")
+		ttl  = flag.Duration("ttl", 3*time.Second, "heartbeat TTL before a member is ejected")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "janus-coordinator ", log.LstdFlags|log.Lmicroseconds)
+
+	coord := membership.NewCoordinator(membership.CoordinatorConfig{TTL: *ttl})
+	defer coord.Close()
+	coord.Subscribe(func(v membership.View) {
+		logger.Printf("epoch %d: %d backend(s) [%s]", v.Epoch, len(v.Backends), strings.Join(v.Backends, " "))
+	})
+
+	svc, err := membership.NewService(coord, *addr)
+	if err != nil {
+		logger.Fatalf("start: %v", err)
+	}
+	defer svc.Close()
+	logger.Printf("membership coordinator on http://%s (ttl=%v)", svc.Addr(), *ttl)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	v := coord.View()
+	logger.Printf("shutdown at epoch %d with %d member(s)", v.Epoch, len(v.Backends))
+}

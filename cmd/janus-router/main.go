@@ -1,11 +1,18 @@
 // Command janus-router runs one Janus request router node (paper §III-B):
 // a stateless HTTP front end that partitions QoS requests across the QoS
-// server layer with CRC32(key) mod N and forwards them over UDP with the
-// paper's timeout/retry discipline.
+// server layer and forwards them over UDP with the paper's timeout/retry
+// discipline.
+//
+// The backend list comes either from -backends (the paper's fixed list,
+// CRC32(key) mod N) or from a membership coordinator (-coordinator), in
+// which case the router polls the epoch-versioned view and hot-swaps its
+// routing table as QoS servers join, leave, or fail. With -picker jump a
+// scale event remaps only ~K/N keys.
 //
 // Example:
 //
 //	janus-router -addr 127.0.0.1:8080 -backends 127.0.0.1:7101,127.0.0.1:7102
+//	janus-router -addr 127.0.0.1:8080 -coordinator 127.0.0.1:7300 -picker jump
 package main
 
 import (
@@ -16,7 +23,9 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
+	"repro/internal/membership"
 	"repro/internal/router"
 	"repro/internal/transport"
 )
@@ -25,18 +34,46 @@ func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
 		backends     = flag.String("backends", "", "comma-separated QoS server UDP addresses, partition order")
+		coordAddr    = flag.String("coordinator", "", "membership coordinator HTTP address (replaces -backends)")
+		pickerKind   = flag.String("picker", "crc32", "key→backend mapping: crc32|jump")
+		pollIv       = flag.Duration("poll", time.Second, "coordinator view poll interval")
 		timeout      = flag.Duration("timeout", transport.DefaultTimeout, "per-attempt UDP timeout")
 		retries      = flag.Int("retries", transport.DefaultRetries, "maximum UDP attempts")
 		defaultReply = flag.Bool("default-reply", false, "verdict returned when a QoS server is unreachable")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "janus-router ", log.LstdFlags|log.Lmicroseconds)
-	if *backends == "" {
-		logger.Fatal("at least one -backends address is required")
+
+	picker, err := membership.NewPicker(membership.Kind(*pickerKind))
+	if err != nil {
+		logger.Fatal(err)
 	}
+
+	var (
+		initial []string
+		coord   *membership.Client
+	)
+	switch {
+	case *coordAddr != "":
+		// Bootstrap the backend list from the coordinator; a QoS server may
+		// still be on its way to joining, so wait briefly for a non-empty
+		// view instead of failing on a cold cluster.
+		coord = &membership.Client{Endpoint: *coordAddr}
+		v, err := waitForView(coord, 30*time.Second)
+		if err != nil {
+			logger.Fatalf("coordinator %s: %v", *coordAddr, err)
+		}
+		initial = v.Backends
+	case *backends != "":
+		initial = strings.Split(*backends, ",")
+	default:
+		logger.Fatal("either -backends or -coordinator is required")
+	}
+
 	r, err := router.New(router.Config{
 		Addr:         *addr,
-		Backends:     strings.Split(*backends, ","),
+		Backends:     initial,
+		Picker:       picker,
 		Transport:    transport.Config{Timeout: *timeout, Retries: *retries},
 		DefaultReply: *defaultReply,
 		Logger:       logger,
@@ -45,13 +82,44 @@ func main() {
 		logger.Fatalf("start: %v", err)
 	}
 	defer r.Close()
-	logger.Printf("request router on http://%s with %d QoS partitions (timeout=%v retries=%d)",
-		r.Addr(), r.NumBackends(), *timeout, *retries)
+	logger.Printf("request router on http://%s with %d QoS partitions (picker=%s timeout=%v retries=%d)",
+		r.Addr(), r.NumBackends(), picker.Kind(), *timeout, *retries)
+
+	if coord != nil {
+		poller := membership.NewPoller(coord, *pollIv, func(v membership.View) {
+			if err := r.UpdateView(v); err != nil {
+				logger.Printf("view epoch %d rejected: %v", v.Epoch, err)
+			}
+		})
+		if err := poller.Start(); err != nil {
+			logger.Fatalf("poll coordinator %s: %v", *coordAddr, err)
+		}
+		defer poller.Stop()
+		logger.Printf("following coordinator %s (poll=%v)", *coordAddr, *pollIv)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	st := r.Stats()
-	fmt.Fprintf(os.Stderr, "janus-router: requests=%d timeouts=%d defaultReplies=%d latency{%s}\n",
-		st.Requests, st.Timeouts, st.DefaultReplies, r.Latency().Snapshot())
+	fmt.Fprintf(os.Stderr, "janus-router: requests=%d timeouts=%d defaultReplies=%d epoch=%d viewSwaps=%d lastRemap=%.3f latency{%s}\n",
+		st.Requests, st.Timeouts, st.DefaultReplies, st.Epoch, st.ViewSwaps, st.LastRemapFraction, r.Latency().Snapshot())
+}
+
+// waitForView polls the coordinator until it publishes a non-empty view.
+func waitForView(cl *membership.Client, patience time.Duration) (membership.View, error) {
+	deadline := time.Now().Add(patience)
+	for {
+		v, err := cl.FetchView()
+		if err == nil && len(v.Backends) > 0 {
+			return v, nil
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				err = fmt.Errorf("view still empty after %v", patience)
+			}
+			return membership.View{}, err
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
 }

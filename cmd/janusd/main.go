@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/bucket"
+	"repro/internal/membership"
 	"repro/internal/minisql"
 	"repro/internal/qosserver"
 	"repro/internal/store"
@@ -42,6 +43,9 @@ func main() {
 		followIv    = flag.Duration("follow-interval", 100*time.Millisecond, "slave replication pull interval")
 		failOpen    = flag.Bool("fail-open", false, "admit requests when the database is unreachable")
 		preload     = flag.Bool("preload", false, "load the full rule table from the database at startup")
+		coordAddr   = flag.String("coordinator", "", "membership coordinator HTTP address (empty = no membership)")
+		memberName  = flag.String("member-name", "", "name to register with the coordinator (default: the UDP listen address)")
+		beatIv      = flag.Duration("beat", time.Second, "coordinator heartbeat interval")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "janusd ", log.LstdFlags|log.Lmicroseconds)
@@ -84,6 +88,24 @@ func main() {
 	logger.Printf("QoS server on udp://%s (table=%s workers=%d)", srv.Addr(), *tableKind, *workers)
 	if srv.ReplicationAddr() != "" {
 		logger.Printf("HA replication on tcp://%s", srv.ReplicationAddr())
+	}
+
+	if *coordAddr != "" {
+		// Register with the membership coordinator and keep beating so the
+		// node stays in the published view. The member name doubles as the
+		// routers' dial address, so it defaults to the UDP listen address;
+		// the advertised handoff address is the replication listener, which
+		// receives bucket state during rebalancing.
+		name := *memberName
+		if name == "" {
+			name = srv.Addr()
+		}
+		beater := membership.NewBeater(&membership.Client{Endpoint: *coordAddr}, name, srv.ReplicationAddr(), *beatIv)
+		if err := beater.Start(); err != nil {
+			logger.Fatalf("join coordinator %s: %v", *coordAddr, err)
+		}
+		defer beater.Stop()
+		logger.Printf("joined coordinator %s as %q (beat=%v)", *coordAddr, name, *beatIv)
 	}
 
 	var rep *qosserver.Replicator

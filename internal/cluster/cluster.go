@@ -17,6 +17,7 @@ import (
 	"repro/internal/dns"
 	"repro/internal/lb"
 	"repro/internal/loadgen"
+	"repro/internal/membership"
 	"repro/internal/minisql"
 	"repro/internal/qosserver"
 	"repro/internal/router"
@@ -74,6 +75,15 @@ type Config struct {
 	// DefaultReply is the router's verdict when a QoS server is
 	// unreachable.
 	DefaultReply bool
+	// Membership enables the epoch-versioned membership layer: QoS servers
+	// register with the in-process coordinator and open a handoff listener,
+	// routers consume hot-swappable views, and AddQoSServer/RemoveQoSServer
+	// rebalance bucket state live instead of stranding it.
+	Membership bool
+	// Picker selects the router-layer key→backend mapping; empty selects
+	// membership.KindCRC32 (the paper's formula). membership.KindJump
+	// bounds the keys moved per scale event to ~K/N.
+	Picker membership.Kind
 	// HA adds a slave to every QoS server and a DNS failover record.
 	HA bool
 	// DBHA deploys the database as a master/standby pair behind a DNS
@@ -141,7 +151,12 @@ type Cluster struct {
 	Routers []*router.Router
 	LB      *lb.LB
 
+	// Coord is the membership coordinator (Membership mode only).
+	Coord  *membership.Coordinator
+	picker membership.Picker
+
 	mu     sync.Mutex
+	view   membership.View // last published view (Membership mode)
 	closed bool
 }
 
@@ -155,6 +170,25 @@ func New(cfg Config) (c *Cluster, err error) {
 			c.Close()
 		}
 	}()
+	if c.picker, err = membership.NewPicker(cfg.Picker); err != nil {
+		return nil, err
+	}
+	if cfg.Membership {
+		c.Coord = membership.NewCoordinator(membership.CoordinatorConfig{})
+		// Every published view hot-swaps every router. The callback runs
+		// under the coordinator lock, so cluster code must never hold c.mu
+		// while calling a coordinator mutator.
+		c.Coord.Subscribe(func(v membership.View) {
+			v = v.Clone()
+			c.mu.Lock()
+			c.view = v
+			routers := append([]*router.Router(nil), c.Routers...)
+			c.mu.Unlock()
+			for _, r := range routers {
+				r.UpdateView(v)
+			}
+		})
+	}
 
 	// Database layer.
 	c.DBEngine = minisql.NewEngine()
@@ -209,23 +243,16 @@ func New(cfg Config) (c *Cluster, err error) {
 			return nil, err2
 		}
 		c.QoS = append(c.QoS, pair)
+		if c.Coord != nil {
+			c.Coord.Join(pair.Name, pair.Master.ReplicationAddr(), 1)
+		}
 	}
 
 	// Request router layer: backends addressed by DNS name so failovers
 	// are picked up by re-resolution.
 	c.Resolver = dns.NewResolver(c.DNS)
-	backendNames := make([]string, cfg.QoSServers)
-	for i := range backendNames {
-		backendNames[i] = qosName(i)
-	}
 	for i := 0; i < cfg.Routers; i++ {
-		r, err2 := router.New(router.Config{
-			Addr:         "127.0.0.1:0",
-			Backends:     backendNames,
-			Resolver:     routerResolver{c.Resolver},
-			Transport:    cfg.Transport,
-			DefaultReply: cfg.DefaultReply,
-		})
+		r, err2 := c.startRouter()
 		if err2 != nil {
 			return nil, err2
 		}
@@ -316,7 +343,9 @@ func (c *Cluster) qosConfig() qosserver.Config {
 
 func (c *Cluster) startQoSPair(i int) (*QoSPair, error) {
 	mcfg := c.qosConfig()
-	if c.cfg.HA {
+	if c.cfg.HA || c.cfg.Membership {
+		// Membership mode needs the replication listener even without a
+		// slave: it is the bucket-handoff endpoint for rebalancing.
 		mcfg.ReplicationAddr = "127.0.0.1:0"
 	}
 	master, err := qosserver.New(mcfg)
@@ -403,20 +432,40 @@ func (c *Cluster) FailMaster(i int) error {
 	return nil
 }
 
-// AddRouter scales the router layer out by one node and registers it with
-// the front end (the Auto Scaling flow of §V-A).
-func (c *Cluster) AddRouter() (*router.Router, error) {
-	backendNames := make([]string, len(c.QoS))
-	for i := range backendNames {
-		backendNames[i] = qosName(i)
+// startRouter boots one router node against the current QoS layer. In
+// Membership mode the router immediately adopts the coordinator's current
+// view, so routers added mid-life join at the current epoch.
+func (c *Cluster) startRouter() (*router.Router, error) {
+	c.mu.Lock()
+	names := make([]string, len(c.QoS))
+	for i, p := range c.QoS {
+		names[i] = p.Name
 	}
+	c.mu.Unlock()
 	r, err := router.New(router.Config{
 		Addr:         "127.0.0.1:0",
-		Backends:     backendNames,
+		Backends:     names,
+		Picker:       c.picker,
 		Resolver:     routerResolver{c.Resolver},
 		Transport:    c.cfg.Transport,
 		DefaultReply: c.cfg.DefaultReply,
 	})
+	if err != nil {
+		return nil, err
+	}
+	if c.Coord != nil {
+		if err := r.UpdateView(c.Coord.View()); err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// AddRouter scales the router layer out by one node and registers it with
+// the front end (the Auto Scaling flow of §V-A).
+func (c *Cluster) AddRouter() (*router.Router, error) {
+	r, err := c.startRouter()
 	if err != nil {
 		return nil, err
 	}
@@ -447,6 +496,129 @@ func (c *Cluster) RemoveRouter() error {
 		c.LB.RemoveBackend(r.Addr())
 	}
 	return r.Close()
+}
+
+// AddQoSServer scales the QoS tier out by one node (Membership mode only):
+// it boots the server, publishes the next membership epoch — hot-swapping
+// every router onto the wider view — and then rebalances, pushing every
+// bucket whose key changed owner to its new home so credits survive the
+// scale event. With the jump picker only ~K/(N+1) keys move, all of them
+// onto the new server.
+func (c *Cluster) AddQoSServer() (*QoSPair, error) {
+	if c.Coord == nil {
+		return nil, fmt.Errorf("cluster: membership not enabled")
+	}
+	c.mu.Lock()
+	i := len(c.QoS)
+	c.mu.Unlock()
+	pair, err := c.startQoSPair(i)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.QoS = append(c.QoS, pair)
+	c.mu.Unlock()
+	// Publishing the wider view swaps the routers before Join returns;
+	// only then is it safe to strip moved keys from the old owners.
+	v := c.Coord.Join(pair.Name, pair.Master.ReplicationAddr(), 1)
+	if err := c.rebalance(v); err != nil {
+		return pair, err
+	}
+	return pair, nil
+}
+
+// RemoveQoSServer scales the QoS tier in by one node — the last added
+// (Membership mode only). The narrower view is published first, draining
+// new traffic off the departing server, whose entire table is then handed
+// off to the surviving owners before shutdown. It refuses to remove the
+// last QoS server.
+func (c *Cluster) RemoveQoSServer() error {
+	if c.Coord == nil {
+		return fmt.Errorf("cluster: membership not enabled")
+	}
+	c.mu.Lock()
+	if len(c.QoS) <= 1 {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: cannot remove the last QoS server")
+	}
+	pair := c.QoS[len(c.QoS)-1]
+	c.QoS = c.QoS[:len(c.QoS)-1]
+	c.mu.Unlock()
+	v := c.Coord.Leave(pair.Name)
+	// The departing server no longer appears in the view, so rebalance
+	// exports every one of its entries to the new owners.
+	err := c.rebalancePair(pair, v)
+	c.DNS.Delete(pair.Name)
+	if pair.Rep != nil {
+		pair.Rep.Stop()
+	}
+	pair.Master.Close()
+	if pair.Slave != nil {
+		pair.Slave.Close()
+	}
+	return err
+}
+
+// rebalance runs the bucket handoff on every QoS master against view v.
+func (c *Cluster) rebalance(v membership.View) error {
+	c.mu.Lock()
+	pairs := append([]*QoSPair(nil), c.QoS...)
+	c.mu.Unlock()
+	var firstErr error
+	for _, p := range pairs {
+		if err := c.rebalancePair(p, v); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// rebalancePair hands off every bucket of pair whose key now belongs to a
+// different view member.
+func (c *Cluster) rebalancePair(pair *QoSPair, v membership.View) error {
+	addrOf := make(map[string]string)
+	for _, m := range c.Coord.Members() {
+		if m.Alive {
+			addrOf[m.Name] = m.Addr
+		}
+	}
+	_, err := pair.Master.Rebalance(func(key string) string {
+		ownerName, oerr := v.Owner(c.picker, key)
+		if oerr != nil || ownerName == pair.Name {
+			return ""
+		}
+		return addrOf[ownerName]
+	})
+	return err
+}
+
+// QoSServerCount returns the current QoS-layer width.
+func (c *Cluster) QoSServerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.QoS)
+}
+
+// View returns the current membership view (zero View when Membership is
+// disabled).
+func (c *Cluster) View() membership.View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.view.Clone()
+}
+
+// TotalDefaultReplies sums router-fabricated default replies across the
+// router layer — the membership acceptance metric: a clean scale event
+// fabricates none.
+func (c *Cluster) TotalDefaultReplies() int64 {
+	c.mu.Lock()
+	routers := append([]*router.Router(nil), c.Routers...)
+	c.mu.Unlock()
+	var n int64
+	for _, r := range routers {
+		n += r.Stats().DefaultReplies
+	}
+	return n
 }
 
 // RouterCount returns the current router-layer width.
@@ -526,6 +698,9 @@ func (c *Cluster) Close() {
 	}
 	if c.DBServer != nil {
 		c.DBServer.Close()
+	}
+	if c.Coord != nil {
+		c.Coord.Close()
 	}
 	if c.DNS != nil {
 		c.DNS.Close()

@@ -107,7 +107,10 @@ func TestLeastConnectionsPolicy(t *testing.T) {
 }
 
 func TestRefillAcrossCluster(t *testing.T) {
-	c := newCluster(t, Config{Rules: rules(1, 100, 5)})
+	// Rate 20/s: the bucket earns its first post-drain credit only after
+	// 50ms, leaving the six checks a comfortable margin even under the
+	// race detector.
+	c := newCluster(t, Config{Rules: rules(1, 20, 5)})
 	for i := 0; i < 5; i++ {
 		if ok, _ := c.Check("user-0"); !ok {
 			t.Fatalf("drain %d denied", i)
@@ -116,7 +119,7 @@ func TestRefillAcrossCluster(t *testing.T) {
 	if ok, _ := c.Check("user-0"); ok {
 		t.Fatal("admitted with empty bucket")
 	}
-	time.Sleep(50 * time.Millisecond) // ~5 credits at 100/s
+	time.Sleep(250 * time.Millisecond) // ~5 credits at 20/s
 	ok, err := c.Check("user-0")
 	if err != nil || !ok {
 		t.Fatalf("after refill: ok=%v err=%v", ok, err)

@@ -1,0 +1,270 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bucket"
+	"repro/internal/membership"
+	"repro/internal/router"
+)
+
+// sumCredits sums the remaining credit of every rule key across the QoS
+// masters' tables, counting absent keys at full capacity (they were never
+// consumed) and failing on keys resident on two servers at once (a handoff
+// that forgot to delete).
+func sumCredits(t *testing.T, c *Cluster, nKeys int, capacity float64) float64 {
+	t.Helper()
+	now := time.Now()
+	found := make(map[string]float64)
+	c.mu.Lock()
+	pairs := append([]*QoSPair(nil), c.QoS...)
+	c.mu.Unlock()
+	for _, p := range pairs {
+		p.Master.Table().Range(func(key string, b *bucket.Bucket) bool {
+			if _, dup := found[key]; dup {
+				t.Errorf("key %q resident on two servers", key)
+			}
+			found[key] = b.Credit(now)
+			return true
+		})
+	}
+	total := 0.0
+	for i := 0; i < nKeys; i++ {
+		if credit, ok := found[fmt.Sprintf("user-%d", i)]; ok {
+			total += credit
+		} else {
+			total += capacity
+		}
+	}
+	return total
+}
+
+// TestScaleOutMidLoadConservesCredit is the membership acceptance
+// scenario: grow the QoS tier 4→5 servers while load is flowing, with the
+// jump picker and live bucket handoff. Asserts (a) at most 25% of keys
+// change owner, (b) total outstanding credit is conserved, and (c) no
+// request is ever answered by the router's default-reply path.
+func TestScaleOutMidLoadConservesCredit(t *testing.T) {
+	const (
+		nKeys    = 200
+		capacity = 50.0
+	)
+	c := newCluster(t, Config{
+		Routers:    2,
+		QoSServers: 4,
+		Membership: true,
+		Picker:     membership.KindJump,
+		Rules:      rules(nKeys, 0, capacity), // rate 0: exact accounting
+	})
+	if got := c.View(); got.Epoch != 4 || len(got.Backends) != 4 {
+		t.Fatalf("initial view = %+v", got)
+	}
+	oldView := c.View()
+
+	var allowed atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			checker := c.Checker()
+			for i := w; ; i += 4 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ok, err := checker.Check(fmt.Sprintf("user-%d", i%nKeys))
+				if err != nil {
+					t.Errorf("check: %v", err)
+					return
+				}
+				if ok {
+					allowed.Add(1)
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}(w)
+	}
+
+	time.Sleep(80 * time.Millisecond) // consume meaningfully before scaling
+	pair, err := c.AddQoSServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond) // keep loading on the wider tier
+	close(stop)
+	wg.Wait()
+
+	newView := c.View()
+	if newView.Epoch != oldView.Epoch+1 || len(newView.Backends) != 5 {
+		t.Fatalf("post-scale view = %+v", newView)
+	}
+	if c.QoSServerCount() != 5 {
+		t.Fatalf("QoS servers = %d", c.QoSServerCount())
+	}
+
+	// (a) Owner stability: over the real rule keys, at most 25% moved —
+	// the jump-hash K/N bound (expected 1/5 = 20%).
+	picker, _ := membership.NewPicker(membership.KindJump)
+	moved := 0
+	for i := 0; i < nKeys; i++ {
+		key := fmt.Sprintf("user-%d", i)
+		a, _ := oldView.Owner(picker, key)
+		b, _ := newView.Owner(picker, key)
+		if a != b {
+			moved++
+			if b != pair.Name {
+				t.Fatalf("key %q moved %s→%s, not onto the new server", key, a, b)
+			}
+		}
+	}
+	if moved == 0 || moved > nKeys/4 {
+		t.Fatalf("moved %d/%d keys, want (0, %d]", moved, nKeys, nKeys/4)
+	}
+
+	// (b) Credit conservation: initial credit == remaining + admitted.
+	initial := float64(nKeys) * capacity
+	remaining := sumCredits(t, c, nKeys, capacity)
+	admitted := float64(allowed.Load())
+	if admitted < 100 {
+		t.Fatalf("load too light to be meaningful: %v admitted", admitted)
+	}
+	drift := math.Abs(initial - remaining - admitted)
+	// Tolerance: in-flight decisions during the swap/handoff window. A
+	// stranded-state failure mode would drift by thousands (re-minted
+	// capacity on ~20% of keys); one refill tick of slack is 1% here.
+	if tol := initial * 0.01; drift > tol {
+		t.Fatalf("credit drift %v > %v (initial %v, remaining %v, admitted %v)",
+			drift, tol, initial, remaining, admitted)
+	}
+
+	// (c) No request was answered by the default-reply path.
+	if n := c.TotalDefaultReplies(); n != 0 {
+		t.Fatalf("default replies during scale-out: %d", n)
+	}
+
+	// The new server actually took over its share of traffic.
+	if pair.Master.Stats().Decisions == 0 {
+		t.Fatal("new QoS server made no decisions")
+	}
+	// Routers adopted the new epoch and recorded the remap fraction.
+	c.mu.Lock()
+	routers := append([]*router.Router(nil), c.Routers...)
+	c.mu.Unlock()
+	for _, r := range routers {
+		st := r.Stats()
+		if st.Epoch != newView.Epoch || st.ViewSwaps == 0 {
+			t.Fatalf("router did not adopt the new view: %+v", st)
+		}
+		if st.LastRemapFraction <= 0 || st.LastRemapFraction > 0.3 {
+			t.Fatalf("recorded remap fraction = %v, want ~0.2", st.LastRemapFraction)
+		}
+	}
+}
+
+func TestScaleInHandsBucketsBack(t *testing.T) {
+	const (
+		nKeys    = 120
+		capacity = 20.0
+	)
+	c := newCluster(t, Config{
+		Routers:    1,
+		QoSServers: 3,
+		Membership: true,
+		Picker:     membership.KindJump,
+		Rules:      rules(nKeys, 0, capacity),
+	})
+	// Warm and consume: 3 credits per key.
+	for i := 0; i < nKeys; i++ {
+		key := fmt.Sprintf("user-%d", i)
+		for j := 0; j < 3; j++ {
+			ok, err := c.Check(key)
+			if err != nil || !ok {
+				t.Fatalf("%s warm %d: ok=%v err=%v", key, j, ok, err)
+			}
+		}
+	}
+	if err := c.RemoveQoSServer(); err != nil {
+		t.Fatal(err)
+	}
+	if c.QoSServerCount() != 2 || len(c.View().Backends) != 2 {
+		t.Fatalf("post-scale-in: %d servers, view %+v", c.QoSServerCount(), c.View())
+	}
+	// Quiescent scale-in: conservation is exact.
+	want := float64(nKeys)*capacity - float64(3*nKeys)
+	if got := sumCredits(t, c, nKeys, capacity); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("credits after scale-in = %v, want %v", got, want)
+	}
+	if n := c.TotalDefaultReplies(); n != 0 {
+		t.Fatalf("default replies during scale-in: %d", n)
+	}
+	// The survivors keep serving every key with the carried-over credit.
+	for i := 0; i < nKeys; i++ {
+		if ok, err := c.Check(fmt.Sprintf("user-%d", i)); err != nil || !ok {
+			t.Fatalf("user-%d after scale-in: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
+func TestScaleOutCRC32ReshufflesButConserves(t *testing.T) {
+	const (
+		nKeys    = 100
+		capacity = 10.0
+	)
+	c := newCluster(t, Config{
+		Routers:    1,
+		QoSServers: 2,
+		Membership: true,
+		Picker:     membership.KindCRC32,
+		Rules:      rules(nKeys, 0, capacity),
+	})
+	for i := 0; i < nKeys; i++ {
+		for j := 0; j < 2; j++ {
+			if ok, err := c.Check(fmt.Sprintf("user-%d", i)); err != nil || !ok {
+				t.Fatalf("warm: ok=%v err=%v", ok, err)
+			}
+		}
+	}
+	if _, err := c.AddQoSServer(); err != nil {
+		t.Fatal(err)
+	}
+	// The legacy mapping reshuffles most of the key space…
+	c.mu.Lock()
+	r := c.Routers[0]
+	c.mu.Unlock()
+	if st := r.Stats(); st.LastRemapFraction < 0.5 {
+		t.Fatalf("crc32 remap fraction = %v, want > 0.5", st.LastRemapFraction)
+	}
+	// …but the handoff still conserves every credit.
+	want := float64(nKeys)*capacity - float64(2*nKeys)
+	if got := sumCredits(t, c, nKeys, capacity); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("credits = %v, want %v", got, want)
+	}
+	if n := c.TotalDefaultReplies(); n != 0 {
+		t.Fatalf("default replies: %d", n)
+	}
+}
+
+func TestQoSScalingRequiresMembership(t *testing.T) {
+	c := newCluster(t, Config{QoSServers: 1})
+	if _, err := c.AddQoSServer(); err == nil {
+		t.Fatal("AddQoSServer without membership succeeded")
+	}
+	if err := c.RemoveQoSServer(); err == nil {
+		t.Fatal("RemoveQoSServer without membership succeeded")
+	}
+}
+
+func TestRemoveLastQoSServerRefused(t *testing.T) {
+	c := newCluster(t, Config{QoSServers: 1, Membership: true})
+	if err := c.RemoveQoSServer(); err == nil {
+		t.Fatal("removed the last QoS server")
+	}
+}

@@ -98,7 +98,8 @@ func (j *Janus) Check(key string) bool {
 
 // CheckCost admits a request consuming cost credits.
 func (j *Janus) CheckCost(key string, cost float64) bool {
-	s := j.servers[router.SelectBackend(key, len(j.servers))]
+	i, _ := router.SelectBackend(key, len(j.servers)) // len > 0 by construction
+	s := j.servers[i]
 	return s.Decide(wire.Request{Key: key, Cost: cost}).Allow
 }
 

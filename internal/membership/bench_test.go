@@ -1,0 +1,48 @@
+package membership
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPick measures the per-request cost of the two key→backend
+// mappings at a typical QoS-tier width. The pick sits on the router's hot
+// path, once per admission request.
+func BenchmarkPick(b *testing.B) {
+	ks := keys(1024)
+	for _, p := range []Picker{CRC32Mod{}, JumpHash{}} {
+		for _, n := range []int{4, 16, 64} {
+			b.Run(fmt.Sprintf("%s/n=%d", p.Kind(), n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := p.Pick(ks[i%len(ks)], n); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkScaleEventKeysMoved reports, as a metric rather than a timing,
+// how many of 100k keys change owner when the tier grows n→n+1 — the cost a
+// scale event actually imposes on the handoff protocol.
+func BenchmarkScaleEventKeysMoved(b *testing.B) {
+	ks := keys(100000)
+	for _, p := range []Picker{CRC32Mod{}, JumpHash{}} {
+		for _, n := range []int{4, 16} {
+			b.Run(fmt.Sprintf("%s/n=%d", p.Kind(), n), func(b *testing.B) {
+				moved := 0
+				for _, k := range ks {
+					i, _ := p.Pick(k, n)
+					j, _ := p.Pick(k, n+1)
+					if i != j {
+						moved++
+					}
+				}
+				b.ReportMetric(float64(moved)/float64(len(ks)), "moved-frac")
+				b.ReportMetric(0, "ns/op")
+			})
+		}
+	}
+}

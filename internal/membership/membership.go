@@ -1,0 +1,106 @@
+// Package membership provides the epoch-versioned cluster membership layer
+// that lets the QoS server tier grow and shrink without stranding
+// leaky-bucket state.
+//
+// The paper's router partitions keys with CRC32(key) mod N over a fixed
+// backend list (§III-B), so any change to N remaps ~(N-1)/N of all keys.
+// This package replaces the fixed list with a View — an immutable,
+// epoch-numbered snapshot of the alive backends — published by a
+// lightweight Coordinator and consumed by routers through a hot swap:
+//
+//   - View{Epoch, Backends, Weights}: the unit of membership truth. Epochs
+//     are strictly increasing; two views with the same epoch are identical.
+//   - Picker: the key→backend mapping strategy. CRC32Mod reproduces the
+//     paper's formula bit-for-bit; JumpHash (Lamping & Veach,
+//     arXiv:1406.2294) moves only ~K/N keys when a backend is appended,
+//     which is what makes elastic scaling of the QoS tier affordable.
+//   - Coordinator: tracks members, their heartbeats, and their handoff
+//     addresses; it ejects members whose heartbeats stop, re-admits them
+//     when heartbeats resume, and publishes a new View (epoch+1) to
+//     subscribers on every change.
+//
+// The bucket-state handoff that accompanies an epoch change is implemented
+// by internal/qosserver (Rebalance) and orchestrated by internal/cluster;
+// this package only decides who owns what.
+package membership
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoBackends is returned when a key→backend mapping is requested against
+// an empty view (n == 0). It replaces the runtime panic ("integer divide by
+// zero" / index out of range) that a fixed-list router would hit.
+var ErrNoBackends = errors.New("membership: no backends in view")
+
+// View is an immutable epoch-versioned snapshot of the alive backends, in
+// stable admission order. Index i in Backends is partition i for a Picker.
+type View struct {
+	// Epoch is the version of this view. Strictly increasing: every
+	// membership change (join, leave, ejection, re-admission) advances it.
+	Epoch uint64
+	// Backends are the routable backend names (DNS names or literal
+	// addresses), in stable order. The slice length fixes N for pickers.
+	Backends []string
+	// Weights are the relative capacities of the backends; nil means all
+	// backends weigh 1. Reserved for weighted pickers; current pickers
+	// treat all backends equally.
+	Weights []float64
+}
+
+// Clone returns a deep copy of the view, so holders may retain it across
+// coordinator mutations.
+func (v View) Clone() View {
+	c := View{Epoch: v.Epoch}
+	if v.Backends != nil {
+		c.Backends = append([]string(nil), v.Backends...)
+	}
+	if v.Weights != nil {
+		c.Weights = append([]float64(nil), v.Weights...)
+	}
+	return c
+}
+
+// IndexOf returns the partition index of the named backend, or -1 when the
+// backend is not in the view.
+func (v View) IndexOf(name string) int {
+	for i, b := range v.Backends {
+		if b == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Owner returns the backend name owning key under picker p.
+func (v View) Owner(p Picker, key string) (string, error) {
+	i, err := p.Pick(key, len(v.Backends))
+	if err != nil {
+		return "", fmt.Errorf("membership: epoch %d: %w", v.Epoch, err)
+	}
+	return v.Backends[i], nil
+}
+
+// RemapFraction estimates the fraction of the key space whose owner differs
+// between views old and new under picker p, by probing samples synthetic
+// keys. It is what routers report as the per-epoch remap metric. samples
+// <= 0 selects 2048.
+func RemapFraction(old, new View, p Picker, samples int) float64 {
+	if samples <= 0 {
+		samples = 2048
+	}
+	if len(old.Backends) == 0 || len(new.Backends) == 0 {
+		return 1
+	}
+	moved := 0
+	for i := 0; i < samples; i++ {
+		key := fmt.Sprintf("remap-probe-%d", i)
+		a, err1 := old.Owner(p, key)
+		b, err2 := new.Owner(p, key)
+		if err1 != nil || err2 != nil || a != b {
+			moved++
+		}
+	}
+	return float64(moved) / float64(samples)
+}

@@ -1,0 +1,157 @@
+package membership
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"testing"
+	"testing/quick"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("user-%d", 1500000001+i)
+	}
+	return out
+}
+
+func TestNewPicker(t *testing.T) {
+	for _, kind := range []Kind{KindCRC32, KindJump, ""} {
+		if _, err := NewPicker(kind); err != nil {
+			t.Fatalf("NewPicker(%q): %v", kind, err)
+		}
+	}
+	if _, err := NewPicker("rendezvous"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestPickersRejectEmptyView(t *testing.T) {
+	for _, p := range []Picker{CRC32Mod{}, JumpHash{}} {
+		for _, n := range []int{0, -1} {
+			if _, err := p.Pick("k", n); !errors.Is(err, ErrNoBackends) {
+				t.Fatalf("%s.Pick(k, %d) err = %v, want ErrNoBackends", p.Kind(), n, err)
+			}
+		}
+	}
+}
+
+// TestCRC32ModMatchesLegacyFormula pins CRC32Mod to the paper's routing
+// function, seed = CRC32(key); index = seed mod N — the exact indices the
+// fixed-list router has always produced.
+func TestCRC32ModMatchesLegacyFormula(t *testing.T) {
+	p := CRC32Mod{}
+	f := func(key string, n uint8) bool {
+		nn := int(n%20) + 1
+		got, err := p.Pick(key, nn)
+		return err == nil && got == int(crc32.ChecksumIEEE([]byte(key))%uint32(nn))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPickersDeterministicInRange(t *testing.T) {
+	for _, p := range []Picker{CRC32Mod{}, JumpHash{}} {
+		f := func(key string, n uint8) bool {
+			nn := int(n%32) + 1
+			i, err1 := p.Pick(key, nn)
+			j, err2 := p.Pick(key, nn)
+			return err1 == nil && err2 == nil && i == j && i >= 0 && i < nn
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Fatalf("%s: %v", p.Kind(), err)
+		}
+	}
+}
+
+// TestPickerDistribution checks both pickers spread sequential keys within
+// a tight band around the uniform share (the Fig 6 property).
+func TestPickerDistribution(t *testing.T) {
+	const n = 20
+	ks := keys(100000)
+	for _, p := range []Picker{CRC32Mod{}, JumpHash{}} {
+		counts := make([]int, n)
+		for _, k := range ks {
+			i, err := p.Pick(k, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[i]++
+		}
+		for i, c := range counts {
+			pct := float64(c) / float64(len(ks)) * 100
+			if pct < 4.0 || pct > 6.0 {
+				t.Errorf("%s: partition %d pressure = %.3f%%, outside [4,6]", p.Kind(), i, pct)
+			}
+		}
+	}
+}
+
+// TestJumpHashMonotonicity is the defining consistent-hash property: going
+// from n to n+1 backends moves at most 2K/(n+1) keys (the expectation is
+// K/(n+1)), and every moved key lands on the NEW backend — none shuffle
+// between pre-existing backends.
+func TestJumpHashMonotonicity(t *testing.T) {
+	p := JumpHash{}
+	ks := keys(50000)
+	for n := 1; n <= 12; n++ {
+		moved := 0
+		for _, k := range ks {
+			a, _ := p.Pick(k, n)
+			b, _ := p.Pick(k, n+1)
+			if a != b {
+				moved++
+				if b != n {
+					t.Fatalf("n=%d: key %q moved %d→%d, not onto new backend %d", n, k, a, b, n)
+				}
+			}
+		}
+		bound := 2 * len(ks) / (n + 1)
+		if moved > bound {
+			t.Errorf("n=%d→%d: moved %d keys, bound 2K/N = %d", n, n+1, moved, bound)
+		}
+	}
+}
+
+// TestCRC32ModReshufflesNearEverything documents why the legacy mapping
+// cannot scale elastically: adding one backend remaps ~(N-1)/N of keys.
+func TestCRC32ModReshufflesNearEverything(t *testing.T) {
+	p := CRC32Mod{}
+	ks := keys(50000)
+	moved := 0
+	for _, k := range ks {
+		a, _ := p.Pick(k, 4)
+		b, _ := p.Pick(k, 5)
+		if a != b {
+			moved++
+		}
+	}
+	if frac := float64(moved) / float64(len(ks)); frac < 0.7 {
+		t.Fatalf("crc32 mod moved only %.2f of keys on 4→5; expected ~0.8", frac)
+	}
+}
+
+func TestViewOwnerAndRemapFraction(t *testing.T) {
+	p := JumpHash{}
+	old := View{Epoch: 1, Backends: []string{"a", "b", "c", "d"}}
+	next := View{Epoch: 2, Backends: []string{"a", "b", "c", "d", "e"}}
+	owner, err := old.Owner(p, "some-key")
+	if err != nil || old.IndexOf(owner) < 0 {
+		t.Fatalf("owner = %q err = %v", owner, err)
+	}
+	if _, err := (View{}).Owner(p, "k"); !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("empty view owner err = %v", err)
+	}
+	frac := RemapFraction(old, next, p, 4096)
+	if frac <= 0 || frac > 0.25+0.05 {
+		t.Fatalf("jump 4→5 remap fraction = %.3f, want ~0.20", frac)
+	}
+	if frac := RemapFraction(old, next, CRC32Mod{}, 4096); frac < 0.7 {
+		t.Fatalf("crc32 4→5 remap fraction = %.3f, want ~0.8", frac)
+	}
+	if frac := RemapFraction(View{}, next, p, 64); frac != 1 {
+		t.Fatalf("empty old view remap = %v, want 1", frac)
+	}
+}

@@ -24,8 +24,14 @@ import (
 // master answers with a snapshot of every (rule, credit, default-flag)
 // entry in the local table.
 
+// The same wire format carries the membership-handoff protocol: when a
+// cluster epoch advances and keys change owner, the old owner pushes the
+// affected entries to the new owner as a handoff frame (Server.Rebalance)
+// and deletes them locally once the ack arrives, so leaky-bucket credits
+// survive rebalancing.
+
 type haFrame struct {
-	Type    byte // 0 pull, 1 snapshot
+	Type    byte // 0 pull, 1 snapshot, 2 handoff push, 3 handoff ack
 	Entries []haEntry
 }
 
@@ -37,6 +43,8 @@ type haEntry struct {
 const (
 	haPull     = 0
 	haSnapshot = 1
+	haHandoff  = 2
+	haAck      = 3
 )
 
 // haListener is the master side: it waits for incoming connections from
@@ -99,10 +107,17 @@ func (h *haListener) serve(conn net.Conn) {
 		if err := dec.Decode(&f); err != nil {
 			return
 		}
-		if f.Type != haPull {
-			return
-		}
-		if err := enc.Encode(&haFrame{Type: haSnapshot, Entries: h.s.snapshotTable()}); err != nil {
+		switch f.Type {
+		case haPull:
+			if err := enc.Encode(&haFrame{Type: haSnapshot, Entries: h.s.snapshotTable()}); err != nil {
+				return
+			}
+		case haHandoff:
+			h.s.applyHandoff(f.Entries)
+			if err := enc.Encode(&haFrame{Type: haAck}); err != nil {
+				return
+			}
+		default:
 			return
 		}
 	}

@@ -1,0 +1,114 @@
+package qosserver
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/bucket"
+)
+
+// Bucket-state handoff for membership changes.
+//
+// When the cluster's membership epoch advances, some keys map to a new
+// owner. Rebalance exports exactly those entries from the local table —
+// rule geometry, current credit, and default flag, the ha.go snapshot wire
+// format — pushes them to each new owner's replication listener, and
+// deletes them locally once the owner acknowledges receipt. Credits
+// therefore survive rebalancing instead of being re-minted from the
+// database at full capacity.
+//
+// The receiving side merges conservatively: an incoming entry whose bucket
+// already exists with the same geometry only ever LOWERS the credit
+// (min-merge). Whatever consumption happened on either side during the
+// handoff window is kept; credit is never refunded. An entry for an
+// unknown key (or one whose geometry changed) is installed wholesale.
+
+// Rebalance pushes every table entry whose key has a new owner to that
+// owner's handoff (replication) address and removes it locally on ack.
+//
+// owner maps a key to the handoff address of its current owner, or ""
+// when the key still belongs to this server. Rebalance is driven by the
+// cluster orchestration after a membership view swap: by then routers
+// direct new traffic for moved keys at the new owner, so the exported
+// credits are final.
+//
+// It returns the number of entries successfully handed off. Entries whose
+// destination cannot be reached stay in the local table (the new owner
+// falls back to the database rule for them) and the first such error is
+// returned after all destinations have been attempted.
+func (s *Server) Rebalance(owner func(key string) string) (int, error) {
+	now := s.clock()
+	groups := make(map[string][]haEntry)
+	s.table.Range(func(key string, b *bucket.Bucket) bool {
+		addr := owner(key)
+		if addr == "" {
+			return true
+		}
+		_, isDefault := s.defaults.Load(key)
+		groups[addr] = append(groups[addr], haEntry{Rule: b.Rule(key, now), Default: isDefault})
+		return true
+	})
+	moved := 0
+	var firstErr error
+	for addr, entries := range groups {
+		if err := pushHandoff(addr, entries); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("qosserver: handoff to %s: %w", addr, err)
+			}
+			s.logger.Printf("qosserver: handoff of %d entries to %s failed: %v", len(entries), addr, err)
+			continue
+		}
+		for _, e := range entries {
+			s.table.Delete(e.Rule.Key)
+			s.defaults.Delete(e.Rule.Key)
+		}
+		moved += len(entries)
+	}
+	return moved, firstErr
+}
+
+// pushHandoff delivers one batch of entries to the replication listener at
+// addr and waits for the ack.
+func pushHandoff(addr string, entries []haEntry) error {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(&haFrame{Type: haHandoff, Entries: entries}); err != nil {
+		return err
+	}
+	var ack haFrame
+	if err := dec.Decode(&ack); err != nil {
+		return err
+	}
+	if ack.Type != haAck {
+		return fmt.Errorf("unexpected frame type %d in handoff ack", ack.Type)
+	}
+	return nil
+}
+
+// applyHandoff installs handed-off entries with min-merge semantics; see
+// the package comment above for why credit only ever moves down.
+func (s *Server) applyHandoff(entries []haEntry) {
+	now := s.clock()
+	for _, e := range entries {
+		if b := s.table.Get(e.Rule.Key); b != nil &&
+			b.RefillRate() == e.Rule.RefillRate && b.Capacity() == e.Rule.Capacity {
+			if cur := b.Credit(now); e.Rule.Credit < cur {
+				b.SetCredit(e.Rule.Credit, now)
+			}
+		} else {
+			s.table.Put(e.Rule.Key, s.newBucket(e.Rule, now))
+		}
+		if e.Default {
+			s.defaults.Store(e.Rule.Key, struct{}{})
+		} else {
+			s.defaults.Delete(e.Rule.Key)
+		}
+	}
+}

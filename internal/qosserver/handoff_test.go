@@ -1,0 +1,239 @@
+package qosserver
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bucket"
+	"repro/internal/minisql"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+func newHandoffServer(t *testing.T, rules ...bucket.Rule) *Server {
+	t.Helper()
+	db := store.New(minisql.NewEngine())
+	if err := db.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutAll(rules); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Addr: "127.0.0.1:0", Store: db, ReplicationAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestRebalanceMovesCreditsToNewOwner hands half the keys of one server to
+// another and checks the exact credits (not the database's full capacity)
+// arrive, the moved keys leave the source table, and the kept keys stay.
+func TestRebalanceMovesCreditsToNewOwner(t *testing.T) {
+	var rules []bucket.Rule
+	for i := 0; i < 10; i++ {
+		rules = append(rules, bucket.Rule{Key: fmt.Sprintf("u%d", i), RefillRate: 0, Capacity: 10, Credit: 10})
+	}
+	src := newHandoffServer(t, rules...)
+	dst := newHandoffServer(t, rules...)
+
+	// Warm every rule into the table, then consume i credits from key u<i>
+	// so every key has a distinct credit.
+	if err := src.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rules {
+		for j := 0; j < i; j++ {
+			if resp := src.Decide(wire.Request{Key: r.Key, Cost: 1}); !resp.Allow {
+				t.Fatalf("%s consume %d denied", r.Key, j)
+			}
+		}
+	}
+	if src.TableLen() != 10 {
+		t.Fatalf("source table len = %d", src.TableLen())
+	}
+
+	// Keys u5..u9 move to dst.
+	moved, err := src.Rebalance(func(key string) string {
+		if key >= "u5" {
+			return dst.ReplicationAddr()
+		}
+		return ""
+	})
+	if err != nil || moved != 5 {
+		t.Fatalf("moved = %d err = %v", moved, err)
+	}
+	if src.TableLen() != 5 {
+		t.Fatalf("source table len after rebalance = %d", src.TableLen())
+	}
+	if dst.TableLen() != 5 {
+		t.Fatalf("dest table len = %d", dst.TableLen())
+	}
+	now := time.Now()
+	for i := 5; i < 10; i++ {
+		b := dst.Table().Get(fmt.Sprintf("u%d", i))
+		if b == nil {
+			t.Fatalf("u%d missing on destination", i)
+		}
+		want := float64(10 - i) // capacity 10 minus i consumed, rate 0
+		if got := b.Credit(now); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("u%d credit = %v, want %v", i, got, want)
+		}
+	}
+	// u0 consumed nothing; the Cost: 0 decide was denied but made it resident.
+	if b := src.Table().Get("u0"); b == nil || b.Credit(now) != 10 {
+		t.Fatal("u0 disturbed by rebalance")
+	}
+}
+
+// TestRebalanceMinMerge checks the conservative merge: a bucket already
+// present on the destination with the same geometry keeps the LOWER of the
+// two credits, so no handoff can refund consumed credit.
+func TestRebalanceMinMerge(t *testing.T) {
+	rule := bucket.Rule{Key: "k", RefillRate: 0, Capacity: 10, Credit: 10}
+	src := newHandoffServer(t, rule)
+	dst := newHandoffServer(t, rule)
+
+	// src consumed 7 (credit 3); dst consumed 2 (credit 8).
+	for i := 0; i < 7; i++ {
+		src.Decide(wire.Request{Key: "k", Cost: 1})
+	}
+	for i := 0; i < 2; i++ {
+		dst.Decide(wire.Request{Key: "k", Cost: 1})
+	}
+	if moved, err := src.Rebalance(func(string) string { return dst.ReplicationAddr() }); err != nil || moved != 1 {
+		t.Fatalf("moved = %d err = %v", moved, err)
+	}
+	if got := dst.Table().Get("k").Credit(time.Now()); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("merged credit = %v, want min(3, 8) = 3", got)
+	}
+
+	// The reverse direction: incoming credit higher than resident — keep
+	// the resident (lower) credit.
+	src2 := newHandoffServer(t, rule)
+	src2.Decide(wire.Request{Key: "k", Cost: 1}) // credit 9 on src2
+	if _, err := src2.Rebalance(func(string) string { return dst.ReplicationAddr() }); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.Table().Get("k").Credit(time.Now()); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("merged credit = %v, want 3 (never refunded)", got)
+	}
+}
+
+// TestRebalanceGeometryChangeInstallsWholesale: a destination bucket with
+// different geometry (edited rule) is replaced by the incoming entry.
+func TestRebalanceGeometryChangeInstallsWholesale(t *testing.T) {
+	src := newHandoffServer(t, bucket.Rule{Key: "k", RefillRate: 5, Capacity: 20, Credit: 20})
+	dst := newHandoffServer(t, bucket.Rule{Key: "k", RefillRate: 0, Capacity: 10, Credit: 10})
+	src.Decide(wire.Request{Key: "k", Cost: 4})
+	dst.Decide(wire.Request{Key: "k", Cost: 1})
+	if _, err := src.Rebalance(func(string) string { return dst.ReplicationAddr() }); err != nil {
+		t.Fatal(err)
+	}
+	b := dst.Table().Get("k")
+	if b.Capacity() != 20 || b.RefillRate() != 5 {
+		t.Fatalf("geometry = (%v, %v), want (20, 5)", b.RefillRate(), b.Capacity())
+	}
+}
+
+// TestRebalanceDefaultFlagTravels: default-rule keys keep their flag on the
+// new owner, so checkpointing still skips them.
+func TestRebalanceDefaultFlagTravels(t *testing.T) {
+	src := newHandoffServer(t) // no rules: every key is served by the default rule
+	dst := newHandoffServer(t)
+	src.Decide(wire.Request{Key: "ghost", Cost: 1})
+	if _, isDefault := src.defaults.Load("ghost"); !isDefault {
+		t.Fatal("precondition: ghost not a default key")
+	}
+	if moved, err := src.Rebalance(func(string) string { return dst.ReplicationAddr() }); err != nil || moved != 1 {
+		t.Fatalf("moved = %d err = %v", moved, err)
+	}
+	if _, isDefault := dst.defaults.Load("ghost"); !isDefault {
+		t.Fatal("default flag lost in handoff")
+	}
+	if _, stillThere := src.defaults.Load("ghost"); stillThere {
+		t.Fatal("default flag not cleared on source")
+	}
+}
+
+// TestRebalanceUnreachableDestinationKeepsEntries: when the destination is
+// down, entries stay local and an error is reported.
+func TestRebalanceUnreachableDestinationKeepsEntries(t *testing.T) {
+	src := newHandoffServer(t, bucket.Rule{Key: "k", RefillRate: 0, Capacity: 10, Credit: 10})
+	src.Decide(wire.Request{Key: "k", Cost: 1})
+	moved, err := src.Rebalance(func(string) string { return "127.0.0.1:1" })
+	if err == nil || moved != 0 {
+		t.Fatalf("moved = %d err = %v, want error and 0", moved, err)
+	}
+	if src.TableLen() != 1 {
+		t.Fatal("entry lost despite failed handoff")
+	}
+}
+
+// TestSnapshotRoundTripUnderConcurrentWrites exercises the ha.go snapshot
+// path (which Rebalance's export shares) while workers admit concurrently:
+// replication pulls and handoff pushes must be race-free against live
+// decisions. Run under -race (scripts/check via `go test -race`).
+func TestSnapshotRoundTripUnderConcurrentWrites(t *testing.T) {
+	var rules []bucket.Rule
+	for i := 0; i < 64; i++ {
+		rules = append(rules, bucket.Rule{Key: fmt.Sprintf("u%d", i), RefillRate: 1e6, Capacity: 1e6, Credit: 1e6})
+	}
+	master := newHandoffServer(t, rules...)
+	slave := newHandoffServer(t, rules...)
+	sink := newHandoffServer(t, rules...)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				master.Decide(wire.Request{Key: fmt.Sprintf("u%d", (g*16+i)%64), Cost: 1})
+			}
+		}(g)
+	}
+
+	// Replication pulls and partial handoffs race against the writers.
+	rep := NewReplicator(slave, master.ReplicationAddr(), time.Millisecond)
+	if err := rep.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		if _, err := master.Rebalance(func(key string) string {
+			if key == fmt.Sprintf("u%d", round) {
+				return sink.ReplicationAddr()
+			}
+			return ""
+		}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	rep.Stop()
+	close(stop)
+	wg.Wait()
+	if rep.Pulls() < 2 {
+		t.Fatalf("pulls = %d", rep.Pulls())
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("replication error: %v", err)
+	}
+	if slave.TableLen() == 0 {
+		t.Fatal("slave table empty after round trips")
+	}
+	if sink.TableLen() != 5 {
+		t.Fatalf("sink received %d handed-off keys, want 5", sink.TableLen())
+	}
+}

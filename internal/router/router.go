@@ -1,17 +1,24 @@
 // Package router implements the Janus request router (paper §II-B, §III-B,
 // Fig 2).
 //
-// The router is a stateless HTTP front end. For each QoS request it
-// computes
+// The router is a stateless HTTP front end. For each QoS request it maps
+// the QoS key to a backend partition with a membership.Picker — by default
+// the paper's formula
 //
 //	seed = CRC32(QoS key)
 //	n    = seed mod N
 //
-// and forwards the request over UDP to QoS server n. With a fixed number of
-// QoS servers, requests for the same key always land on the same server —
-// regardless of which router instance handles them — which is what
-// partitions the key space without any coordination. Statelessness is what
-// lets the router layer scale in and out freely (§II-B).
+// — and forwards the request over UDP to QoS server n. Requests for the
+// same key always land on the same server, regardless of which router
+// instance handles them, which is what partitions the key space without
+// any coordination. Statelessness is what lets the router layer scale in
+// and out freely (§II-B).
+//
+// The backend list is not fixed: it is an epoch-versioned
+// membership.View that can be hot-swapped with UpdateView while traffic
+// flows (the membership-coordinator integration). Swapping to a view with
+// a jump-consistent-hash picker moves only ~K/N keys per added backend;
+// the router records the estimated remap fraction of every swap.
 //
 // The UDP exchange uses the 100 µs/5-retry discipline of
 // internal/transport; when all retries are exhausted the router answers
@@ -20,23 +27,31 @@ package router
 
 import (
 	"fmt"
-	"hash/crc32"
 	"io"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/membership"
 	"repro/internal/metrics"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
+// ErrNoBackends is returned when a routing decision or router construction
+// is attempted with zero backends (n == 0), instead of the divide-by-zero
+// panic the raw modulo would hit.
+var ErrNoBackends = membership.ErrNoBackends
+
 // SelectBackend returns the index of the QoS server responsible for key
-// among n servers — the paper's routing function. n must be > 0.
-func SelectBackend(key string, n int) int {
-	return int(crc32.ChecksumIEEE([]byte(key)) % uint32(n))
+// among n servers — the paper's CRC32-mod routing function. It returns
+// ErrNoBackends when n <= 0.
+func SelectBackend(key string, n int) (int, error) {
+	return membership.CRC32Mod{}.Pick(key, n)
 }
 
 // Resolver turns a backend name into a dialable address. internal/dns
@@ -50,8 +65,12 @@ type Config struct {
 	// Addr is the HTTP listen address ("127.0.0.1:0" for ephemeral).
 	Addr string
 	// Backends are the QoS server names (resolved via Resolver) or
-	// addresses, in partition order. The slice length fixes N.
+	// addresses, in partition order. They form the initial view (epoch 0);
+	// UpdateView replaces them wholesale.
 	Backends []string
+	// Picker maps keys to backend indices; nil selects the legacy
+	// membership.CRC32Mod.
+	Picker membership.Picker
 	// Resolver resolves backend names; nil treats names as addresses.
 	Resolver Resolver
 	// Transport tunes the UDP client (timeout/retries).
@@ -71,15 +90,33 @@ type Stats struct {
 	Timeouts       int64 // backend exchanges that exhausted retries
 	DefaultReplies int64 // responses fabricated by the router
 	Redials        int64 // backend reconnects after failure
+	ViewSwaps      int64 // membership views adopted after the initial one
+
+	// Epoch is the epoch of the view currently routing traffic.
+	Epoch uint64
+	// LastRemapFraction estimates the fraction of the key space whose
+	// owner changed at the most recent view swap (0 before any swap).
+	LastRemapFraction float64
+}
+
+// routeState is one immutable routing table: a view plus its dial slots.
+// Swaps replace the whole value atomically so Route never observes a
+// half-updated backend list.
+type routeState struct {
+	view     membership.View
+	backends []*backend
 }
 
 // Router is a running request-router node.
 type Router struct {
-	cfg      Config
-	ln       net.Listener
-	server   *http.Server
-	backends []*backend
-	logger   *log.Logger
+	cfg    Config
+	ln     net.Listener
+	server *http.Server
+	picker membership.Picker
+	logger *log.Logger
+
+	state  atomic.Pointer[routeState]
+	swapMu sync.Mutex // serializes UpdateView
 
 	latency *metrics.Histogram
 
@@ -88,6 +125,8 @@ type Router struct {
 	timeouts       metrics.Counter
 	defaultReplies metrics.Counter
 	redials        metrics.Counter
+	viewSwaps      metrics.Counter
+	lastRemapBits  atomic.Uint64 // math.Float64bits of LastRemapFraction
 
 	wg sync.WaitGroup
 }
@@ -139,18 +178,18 @@ func (b *backend) invalidate() {
 }
 
 func (b *backend) close() {
-	b.mu.Lock()
-	if b.client != nil {
-		b.client.Close()
-		b.client = nil
-	}
-	b.mu.Unlock()
+	b.invalidate()
 }
 
-// New starts a router node.
+// New starts a router node. It returns ErrNoBackends when cfg.Backends is
+// empty.
 func New(cfg Config) (*Router, error) {
 	if len(cfg.Backends) == 0 {
-		return nil, fmt.Errorf("router: no backends configured")
+		return nil, fmt.Errorf("router: %w", ErrNoBackends)
+	}
+	picker := cfg.Picker
+	if picker == nil {
+		picker = membership.CRC32Mod{}
 	}
 	logger := cfg.Logger
 	if logger == nil {
@@ -163,12 +202,12 @@ func New(cfg Config) (*Router, error) {
 	r := &Router{
 		cfg:     cfg,
 		ln:      ln,
+		picker:  picker,
 		logger:  logger,
 		latency: metrics.NewHistogram(),
 	}
-	for _, name := range cfg.Backends {
-		r.backends = append(r.backends, &backend{name: name, resolver: cfg.Resolver, tcfg: cfg.Transport})
-	}
+	initial := membership.View{Epoch: 0, Backends: append([]string(nil), cfg.Backends...)}
+	r.state.Store(r.buildState(initial, nil))
 	mux := http.NewServeMux()
 	mux.HandleFunc(wire.HTTPPath, r.handleQoS)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -184,11 +223,74 @@ func New(cfg Config) (*Router, error) {
 	return r, nil
 }
 
+// buildState assembles dial slots for a view, reusing slots (and their
+// cached UDP clients) from prev for backends that persist across the swap.
+func (r *Router) buildState(v membership.View, prev *routeState) *routeState {
+	reuse := make(map[string]*backend)
+	if prev != nil {
+		for _, b := range prev.backends {
+			reuse[b.name] = b
+		}
+	}
+	st := &routeState{view: v}
+	for _, name := range v.Backends {
+		if b, ok := reuse[name]; ok {
+			st.backends = append(st.backends, b)
+			delete(reuse, name)
+			continue
+		}
+		st.backends = append(st.backends, &backend{name: name, resolver: r.cfg.Resolver, tcfg: r.cfg.Transport})
+	}
+	return st
+}
+
+// UpdateView hot-swaps the routing table to view v. Views with an epoch at
+// or below the current one are ignored (stale publications from a lagging
+// poller). Backends that persist across the swap keep their cached UDP
+// clients; backends that leave are closed. The estimated remap fraction of
+// the swap is recorded in Stats.
+func (r *Router) UpdateView(v membership.View) error {
+	if len(v.Backends) == 0 {
+		return fmt.Errorf("router: update view epoch %d: %w", v.Epoch, ErrNoBackends)
+	}
+	r.swapMu.Lock()
+	defer r.swapMu.Unlock()
+	old := r.state.Load()
+	if v.Epoch <= old.view.Epoch {
+		return nil
+	}
+	v = v.Clone()
+	st := r.buildState(v, old)
+	remap := membership.RemapFraction(old.view, v, r.picker, 0)
+	r.state.Store(st)
+	r.viewSwaps.Inc()
+	r.lastRemapBits.Store(math.Float64bits(remap))
+	r.logger.Printf("router: adopted view epoch %d (%d backends, ~%.1f%% of keys remapped)",
+		v.Epoch, len(v.Backends), remap*100)
+	// Close slots that left the view; racing in-flight requests see a
+	// closed client and fall back to the default reply, exactly as they
+	// would for a dead backend.
+	kept := make(map[*backend]bool, len(st.backends))
+	for _, b := range st.backends {
+		kept[b] = true
+	}
+	for _, b := range old.backends {
+		if !kept[b] {
+			b.close()
+		}
+	}
+	return nil
+}
+
+// View returns the view currently routing traffic.
+func (r *Router) View() membership.View { return r.state.Load().view.Clone() }
+
 // Addr returns the HTTP address the router listens on.
 func (r *Router) Addr() string { return r.ln.Addr().String() }
 
-// NumBackends returns N, the number of QoS server partitions.
-func (r *Router) NumBackends() int { return len(r.backends) }
+// NumBackends returns N, the number of QoS server partitions in the
+// current view.
+func (r *Router) NumBackends() int { return len(r.state.Load().backends) }
 
 func (r *Router) handleQoS(w http.ResponseWriter, req *http.Request) {
 	start := time.Now()
@@ -209,7 +311,14 @@ func (r *Router) handleQoS(w http.ResponseWriter, req *http.Request) {
 // Route performs the backend selection and UDP exchange for one request.
 // It is exported for in-process deployments and the simulation harness.
 func (r *Router) Route(qreq wire.Request) wire.Response {
-	b := r.backends[SelectBackend(qreq.Key, len(r.backends))]
+	st := r.state.Load()
+	i, err := r.picker.Pick(qreq.Key, len(st.backends))
+	if err != nil {
+		// Unreachable in practice: New and UpdateView refuse empty views.
+		r.logger.Printf("router: pick for %q failed: %v", qreq.Key, err)
+		return r.defaultReply()
+	}
+	b := st.backends[i]
 	client, err := b.getClient()
 	if err != nil {
 		r.logger.Printf("router: backend %s unavailable: %v", b.name, err)
@@ -235,11 +344,14 @@ func (r *Router) defaultReply() wire.Response {
 // Stats returns a snapshot of the router counters.
 func (r *Router) Stats() Stats {
 	return Stats{
-		Requests:       r.requests.Value(),
-		BadRequests:    r.badRequests.Value(),
-		Timeouts:       r.timeouts.Value(),
-		DefaultReplies: r.defaultReplies.Value(),
-		Redials:        r.redials.Value(),
+		Requests:          r.requests.Value(),
+		BadRequests:       r.badRequests.Value(),
+		Timeouts:          r.timeouts.Value(),
+		DefaultReplies:    r.defaultReplies.Value(),
+		Redials:           r.redials.Value(),
+		ViewSwaps:         r.viewSwaps.Value(),
+		Epoch:             r.state.Load().view.Epoch,
+		LastRemapFraction: math.Float64frombits(r.lastRemapBits.Load()),
 	}
 }
 
@@ -249,7 +361,7 @@ func (r *Router) Latency() *metrics.Histogram { return r.latency }
 // Close shuts down the router.
 func (r *Router) Close() error {
 	err := r.server.Close()
-	for _, b := range r.backends {
+	for _, b := range r.state.Load().backends {
 		b.close()
 	}
 	r.wg.Wait()

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/bucket"
+	"repro/internal/membership"
 	"repro/internal/minisql"
 	"repro/internal/qosserver"
 	"repro/internal/store"
@@ -81,9 +83,9 @@ func httpCheck(t *testing.T, r *Router, key string) (bool, wire.Status) {
 func TestSelectBackendDeterministic(t *testing.T) {
 	f := func(key string, n uint8) bool {
 		nn := int(n%20) + 1
-		i := SelectBackend(key, nn)
-		j := SelectBackend(key, nn)
-		return i == j && i >= 0 && i < nn
+		i, err1 := SelectBackend(key, nn)
+		j, err2 := SelectBackend(key, nn)
+		return err1 == nil && err2 == nil && i == j && i >= 0 && i < nn
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
 		t.Fatal(err)
@@ -92,8 +94,8 @@ func TestSelectBackendDeterministic(t *testing.T) {
 
 func TestSelectBackendMatchesPaperFormula(t *testing.T) {
 	// seed = CRC32(key); n = mod(seed, N)
-	if got := SelectBackend("hello", 7); got != int(uint32(0x3610a686)%7) {
-		t.Fatalf("got %d", got)
+	if got, err := SelectBackend("hello", 7); err != nil || got != int(uint32(0x3610a686)%7) {
+		t.Fatalf("got %d err %v", got, err)
 	}
 }
 
@@ -132,7 +134,7 @@ func TestPartitioningAcrossBackends(t *testing.T) {
 		t.Fatalf("decisions: %d + %d", s0.Decisions, s1.Decisions)
 	}
 	for _, k := range keys {
-		want := SelectBackend(k, 2)
+		want, _ := SelectBackend(k, 2)
 		d0 := qs0.Stats().Decisions
 		httpCheck(t, r, k)
 		gotZero := qs0.Stats().Decisions > d0
@@ -206,8 +208,105 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestNoBackendsRejected(t *testing.T) {
-	if _, err := New(Config{Addr: "127.0.0.1:0"}); err == nil {
-		t.Fatal("router started with no backends")
+	if _, err := New(Config{Addr: "127.0.0.1:0"}); !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("New with no backends: err = %v, want ErrNoBackends", err)
+	}
+}
+
+func TestSelectBackendZeroServersTypedError(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		if _, err := SelectBackend("k", n); !errors.Is(err, ErrNoBackends) {
+			t.Fatalf("SelectBackend(k, %d): err = %v, want ErrNoBackends", n, err)
+		}
+	}
+}
+
+func TestUpdateViewRejectsEmptyAndStale(t *testing.T) {
+	qs := newBackend(t)
+	r := newRouter(t, Config{Backends: []string{qs.Addr()}})
+	if err := r.UpdateView(membership.View{Epoch: 5}); !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("empty view accepted: %v", err)
+	}
+	if err := r.UpdateView(membership.View{Epoch: 2, Backends: []string{qs.Addr(), "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Stale (same or older epoch) publications are ignored.
+	if err := r.UpdateView(membership.View{Epoch: 2, Backends: []string{"only-x"}}); err != nil {
+		t.Fatal(err)
+	}
+	if v := r.View(); v.Epoch != 2 || len(v.Backends) != 2 {
+		t.Fatalf("view = %+v", v)
+	}
+	if st := r.Stats(); st.ViewSwaps != 1 || st.Epoch != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestUpdateViewHotSwap grows the backend set mid-traffic with the jump
+// picker: traffic keeps flowing, no request sees a default reply, and the
+// recorded remap fraction matches jump hash's ~K/N bound.
+func TestUpdateViewHotSwap(t *testing.T) {
+	generous := func() *qosserver.Server {
+		s, err := qosserver.New(qosserver.Config{
+			Addr:        "127.0.0.1:0",
+			DefaultRule: bucket.Rule{RefillRate: 1e9, Capacity: 1e9, Credit: 1e9},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+	qs0 := generous()
+	qs1 := generous()
+	r := newRouter(t, Config{
+		Backends: []string{qs0.Addr()},
+		Picker:   membership.JumpHash{},
+	})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ok, status := httpCheck(t, r, fmt.Sprintf("key-%d-%d", g, i%32))
+				if !ok || status == wire.StatusDefaultReply {
+					errs <- fmt.Errorf("ok=%v status=%v during swap", ok, status)
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := r.UpdateView(membership.View{Epoch: 1, Backends: []string{qs0.Addr(), qs1.Addr()}}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.DefaultReplies != 0 {
+		t.Fatalf("default replies during hot swap: %+v", st)
+	}
+	if st.Epoch != 1 || st.ViewSwaps != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.LastRemapFraction <= 0 || st.LastRemapFraction > 0.6 {
+		t.Fatalf("remap fraction = %v, want ~0.5 for 1→2 backends", st.LastRemapFraction)
+	}
+	if qs1.Stats().Decisions == 0 {
+		t.Fatal("new backend received no traffic after swap")
 	}
 }
 
@@ -302,7 +401,11 @@ func TestKeyPressureUniformity(t *testing.T) {
 	const keys = 100000
 	counts := make([]int, n)
 	for i := 0; i < keys; i++ {
-		counts[SelectBackend(fmt.Sprintf("%d", 1500000001+i), n)]++
+		idx, err := SelectBackend(fmt.Sprintf("%d", 1500000001+i), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
 	}
 	for i, c := range counts {
 		pct := float64(c) / keys * 100
