@@ -1,13 +1,25 @@
 GO ?= go
 
-.PHONY: check build test vet race bench-membership
+.PHONY: check build test vet lint lint-manifest race fuzz-smoke bench-membership
 
-# The full pre-merge gate: static checks, build, and the complete test
-# suite under the race detector.
-check: vet build race
+# The full pre-merge gate: static checks, the janus-vet analyzer suite,
+# build, and the complete test suite under the race detector.
+check: vet lint build race
 
 vet:
 	$(GO) vet ./...
+
+# janus-vet enforces the repo's own invariants: no wall clock in
+# simulation packages, lock/unlock discipline, frozen gob wire formats,
+# and no silently dropped transport errors. See internal/lint.
+lint:
+	$(GO) run ./cmd/janus-vet ./...
+
+# Regenerates internal/lint/wirecompat.golden after an intentional wire
+# format change. Review the diff: every changed line is a compatibility
+# break for mixed-version clusters.
+lint-manifest:
+	$(GO) run ./cmd/janus-vet -write-manifest ./...
 
 build:
 	$(GO) build ./...
@@ -17,6 +29,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Short fuzzing passes over every fuzz target; enough to catch decode
+# panics and invariant breaks introduced by a wire or HA change.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeRequest -fuzztime 10s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeResponse -fuzztime 10s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzHAFrameDecode -fuzztime 10s ./internal/qosserver/
 
 # Regenerates the numbers recorded in BENCH_membership.json.
 bench-membership:

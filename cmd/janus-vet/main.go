@@ -1,0 +1,148 @@
+// Command janus-vet runs the project-specific static analyzers over the
+// module: simclock (no wall clock / global RNG in simulation packages),
+// lockdiscipline (locks released, no mixed atomic/plain field access),
+// wirecompat (wire/gob struct layouts match the golden manifest), and
+// errdrop (no silently discarded Close/SetDeadline/Write errors in
+// transport hot paths). See internal/lint for the invariants and the
+// //lint:ignore suppression syntax.
+//
+// Usage:
+//
+//	janus-vet ./...                      # analyze the whole module
+//	janus-vet internal/qosserver         # analyze one directory
+//	janus-vet -pkgpath repro/internal/sim dir   # treat dir as that import path
+//	janus-vet -write-manifest            # regenerate the wirecompat manifest
+//	janus-vet -list                      # list analyzers
+//
+// Exit status is 0 when no findings are reported, 1 otherwise, 2 on usage
+// or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		manifest      = flag.String("manifest", "", "override the wirecompat golden manifest path")
+		writeManifest = flag.Bool("write-manifest", false, "regenerate the wirecompat golden manifest and exit")
+		pkgPath       = flag.String("pkgpath", "", "import path to assign to explicit directory arguments (for fixture/testing runs)")
+		list          = flag.Bool("list", false, "list analyzers and exit")
+		only          = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+	)
+	flag.Parse()
+
+	analyzers := lint.Analyzers(*manifest)
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var sel []lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name()] {
+				sel = append(sel, a)
+				delete(want, a.Name())
+			}
+		}
+		for n := range want {
+			fatalf("unknown analyzer %q", n)
+		}
+		analyzers = sel
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	var progs []*lint.Program
+	for _, arg := range args {
+		switch {
+		case arg == "./..." || arg == "...":
+			root, err := lint.FindModuleRoot(".")
+			if err != nil {
+				fatalf("%v", err)
+			}
+			prog, err := lint.LoadModule(root)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			progs = append(progs, prog)
+		default:
+			path := *pkgPath
+			if path == "" {
+				// Best effort: derive the import path from the module root.
+				if root, err := lint.FindModuleRoot(arg); err == nil {
+					if p, ok := relImportPath(root, arg); ok {
+						path = p
+					}
+				}
+			}
+			if path == "" {
+				path = "janusvet.invalid/" + strings.Trim(arg, "./")
+			}
+			prog, err := lint.LoadDir(arg, path)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			progs = append(progs, prog)
+		}
+	}
+
+	if *writeManifest {
+		for _, prog := range progs {
+			if err := lint.WriteManifest(prog, *manifest); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		return
+	}
+
+	failed := false
+	for _, prog := range progs {
+		for _, f := range lint.Run(prog, analyzers) {
+			fmt.Println(f)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func relImportPath(root, dir string) (string, bool) {
+	mp, err := lint.ModulePathAt(root)
+	if err != nil {
+		return "", false
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", false
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", false
+	}
+	if rel == "." {
+		return mp, true
+	}
+	return mp + "/" + filepath.ToSlash(rel), true
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "janus-vet: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -26,6 +26,7 @@ package bucket
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 )
@@ -50,6 +51,10 @@ func (r Rule) Validate() error {
 	switch {
 	case r.Key == "":
 		return fmt.Errorf("bucket: rule has empty key")
+	case math.IsNaN(r.RefillRate) || math.IsNaN(r.Capacity) || math.IsNaN(r.Credit):
+		// NaN slips through every ordered comparison below, so it must be
+		// rejected explicitly: a NaN credit or capacity poisons clamp().
+		return fmt.Errorf("bucket: rule %q has NaN parameter", r.Key)
 	case r.RefillRate < 0:
 		return fmt.Errorf("bucket: rule %q has negative refill rate %v", r.Key, r.RefillRate)
 	case r.Capacity < 0:

@@ -1,0 +1,233 @@
+// Package lint implements janus-vet, a from-scratch static-analysis suite
+// built only on the standard library's go/parser, go/ast, and go/types.
+//
+// Janus's correctness rests on invariants the Go compiler cannot see:
+//
+//   - the leaky-bucket credit model (paper §II-C eq. 1–2) is only exact when
+//     simulation and experiment code derives every timestamp from an
+//     injected clock and every random draw from a seeded source — one raw
+//     time.Now() inside internal/des or internal/cloudsim silently turns a
+//     reproducible experiment into a flaky one;
+//   - buckets and tables must never mint credit under concurrent
+//     refill/consume, which in practice means strict mutex discipline and no
+//     mixed atomic/non-atomic access to the same field;
+//   - the gob frames spoken by the HA replication and bucket-handoff
+//     protocols (internal/qosserver/ha.go) and the binary structs in
+//     internal/wire must stay wire-compatible across versions: a reordered
+//     or retyped field is an invisible protocol break;
+//   - the UDP hot paths deliberately fire-and-forget, but a *discarded*
+//     error from Close/SetDeadline/Write hides real socket failures.
+//
+// Each invariant gets a dedicated analyzer: simclock, lockdiscipline,
+// wirecompat, and errdrop. See their files for the precise rules and the
+// documented approximations.
+//
+// # Suppressions
+//
+// An intentional violation is silenced — explicitly and auditable — with a
+// directive on the flagged line or the line directly above it:
+//
+//	//lint:ignore simclock fallback to wall clock when no Clock is injected
+//	return time.Now()
+//
+// The directive names one analyzer (or a comma-separated list) and must
+// carry a non-empty reason; a malformed directive is itself reported as a
+// finding, and a directive naming the wrong analyzer suppresses nothing.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one reported violation.
+type Finding struct {
+	// Analyzer is the name of the analyzer that produced the finding.
+	Analyzer string
+	// Pos locates the offending node.
+	Pos token.Position
+	// Message explains the violation and, where possible, the fix.
+	Message string
+}
+
+// String formats the finding in the conventional file:line:col style.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one project-specific check run over a loaded Program.
+type Analyzer interface {
+	// Name is the identifier used in output and //lint:ignore directives.
+	Name() string
+	// Doc is a one-line description of the invariant the analyzer guards.
+	Doc() string
+	// Analyze reports violations found in prog.
+	Analyze(prog *Program) []Finding
+}
+
+// Analyzers returns the full suite. manifestPath overrides the wirecompat
+// golden manifest location; "" uses DefaultManifestPath under the module
+// root.
+func Analyzers(manifestPath string) []Analyzer {
+	return []Analyzer{
+		SimClock{},
+		LockDiscipline{},
+		WireCompat{ManifestPath: manifestPath},
+		ErrDrop{},
+	}
+}
+
+// Run executes the analyzers over prog, drops suppressed findings, reports
+// malformed suppression directives, and returns the remainder sorted by
+// position.
+func Run(prog *Program, analyzers []Analyzer) []Finding {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name()] = true
+	}
+	sup, bad := collectDirectives(prog, known)
+	out := bad
+	for _, a := range analyzers {
+		for _, f := range a.Analyze(prog) {
+			if sup.suppresses(f) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// suppressions maps filename -> line -> set of analyzer names silenced on
+// that line.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) suppresses(f Finding) bool {
+	lines := s[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[f.Pos.Line][f.Analyzer]
+}
+
+func (s suppressions) add(file string, line int, analyzer string) {
+	lines := s[file]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		s[file] = lines
+	}
+	set := lines[line]
+	if set == nil {
+		set = make(map[string]bool)
+		lines[line] = set
+	}
+	set[analyzer] = true
+}
+
+const ignorePrefix = "lint:ignore"
+
+// collectDirectives scans every comment for //lint:ignore directives. A
+// well-formed directive suppresses the named analyzers on its own line and
+// on the line below (so it can trail the flagged statement or sit above
+// it). Malformed directives are returned as findings so they cannot rot
+// silently.
+func collectDirectives(prog *Program, known map[string]bool) (suppressions, []Finding) {
+	sup := make(suppressions)
+	var bad []Finding
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimPrefix(text, "/*")
+					text = strings.TrimSuffix(text, "*/")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, ignorePrefix) {
+						continue
+					}
+					pos := prog.Fset.Position(c.Slash)
+					rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+					names, reason, okSplit := strings.Cut(rest, " ")
+					if names == "" || !okSplit || strings.TrimSpace(reason) == "" {
+						bad = append(bad, Finding{
+							Analyzer: "lint",
+							Pos:      pos,
+							Message:  "malformed //lint:ignore directive: want //lint:ignore <analyzer>[,<analyzer>...] <reason>",
+						})
+						continue
+					}
+					for _, name := range strings.Split(names, ",") {
+						name = strings.TrimSpace(name)
+						if !known[name] {
+							bad = append(bad, Finding{
+								Analyzer: "lint",
+								Pos:      pos,
+								Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q", name),
+							})
+							continue
+						}
+						sup.add(pos.Filename, pos.Line, name)
+						sup.add(pos.Filename, pos.Line+1, name)
+					}
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+// inScope reports whether pkg's import path ends with one of the given
+// module-relative package paths (e.g. "internal/des").
+func inScope(pkg *Package, scope []string) bool {
+	for _, s := range scope {
+		if pkg.Path == s || strings.HasSuffix(pkg.Path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// importedPath resolves the package path a bare identifier refers to inside
+// file, preferring type information and falling back to the file's import
+// table. It returns "" when id is not a package name.
+func importedPath(pkg *Package, file *ast.File, id *ast.Ident) string {
+	if pkg.TypesInfo != nil {
+		if obj, ok := pkg.TypesInfo.Uses[id]; ok {
+			if pn, ok := obj.(*types.PkgName); ok {
+				return pn.Imported().Path()
+			}
+			return ""
+		}
+	}
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == id.Name {
+			return path
+		}
+	}
+	return ""
+}

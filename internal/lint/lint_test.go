@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads testdata/src/<name> under the given pseudo import path.
+func loadFixture(t *testing.T, name, importPath string) *Program {
+	t.Helper()
+	prog, err := LoadDir(filepath.Join("testdata", "src", name), importPath)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", name, err)
+	}
+	for _, pkg := range prog.Packages {
+		for _, terr := range pkg.TypeErrors {
+			t.Fatalf("fixture %s does not type-check: %v", name, terr)
+		}
+	}
+	return prog
+}
+
+func findingsOn(fs []Finding, analyzer string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Analyzer == analyzer {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func wantFindingAt(t *testing.T, fs []Finding, line int, msgPart string) {
+	t.Helper()
+	for _, f := range fs {
+		if f.Pos.Line == line && strings.Contains(f.Message, msgPart) {
+			return
+		}
+	}
+	t.Errorf("no finding at line %d containing %q; got:\n%s", line, msgPart, renderFindings(fs))
+}
+
+func renderFindings(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString(f.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func TestSimClockFixture(t *testing.T) {
+	prog := loadFixture(t, "simclockbad", "repro/internal/sim")
+	got := Run(prog, []Analyzer{SimClock{}})
+	if len(got) != 5 {
+		t.Errorf("want 5 simclock findings, got %d:\n%s", len(got), renderFindings(got))
+	}
+	lines := map[string]bool{}
+	for _, f := range got {
+		lines[f.Message[:strings.Index(f.Message, " ")]] = true
+	}
+	for _, want := range []string{"time.Now", "time.Sleep", "time.After", "time.Since", "global"} {
+		if !lines[want] {
+			t.Errorf("missing finding for %s:\n%s", want, renderFindings(got))
+		}
+	}
+}
+
+func TestSimClockOutOfScopePackageIsIgnored(t *testing.T) {
+	prog := loadFixture(t, "simclockbad", "repro/internal/store")
+	if got := Run(prog, []Analyzer{SimClock{}}); len(got) != 0 {
+		t.Errorf("out-of-scope package should produce no findings, got:\n%s", renderFindings(got))
+	}
+}
+
+func TestLockDisciplineFixture(t *testing.T) {
+	prog := loadFixture(t, "lockbad", "repro/internal/lockbad")
+	got := Run(prog, []Analyzer{LockDiscipline{}})
+	if len(got) != 3 {
+		t.Errorf("want 3 lockdiscipline findings, got %d:\n%s", len(got), renderFindings(got))
+	}
+	wantFindingAt(t, got, 20, "c.mu.Lock() has no matching Unlock")
+	wantFindingAt(t, got, 26, "c.rw.RLock() has no matching RUnlock")
+	wantFindingAt(t, got, 63, "mixed access races")
+}
+
+func TestErrDropFixture(t *testing.T) {
+	prog := loadFixture(t, "errdropbad", "repro/internal/transport")
+	got := Run(prog, []Analyzer{ErrDrop{}})
+	if len(got) != 4 {
+		t.Errorf("want 4 errdrop findings, got %d:\n%s", len(got), renderFindings(got))
+	}
+	wantFindingAt(t, got, 12, "c.Close is silently discarded")
+	wantFindingAt(t, got, 17, "c.SetDeadline is silently discarded")
+	wantFindingAt(t, got, 22, "c.Write is silently discarded")
+	wantFindingAt(t, got, 27, "deferred c.Write discards its error")
+}
+
+func TestErrDropOutOfScopePackageIsIgnored(t *testing.T) {
+	prog := loadFixture(t, "errdropbad", "repro/internal/metrics")
+	if got := Run(prog, []Analyzer{ErrDrop{}}); len(got) != 0 {
+		t.Errorf("out-of-scope package should produce no findings, got:\n%s", renderFindings(got))
+	}
+}
+
+// TestWireCompatTripsOnFieldReorder is the acceptance scenario: the golden
+// manifest is generated from the baseline fixture, and the analyzer must
+// trip on a copy with two fields deliberately reordered.
+func TestWireCompatTripsOnFieldReorder(t *testing.T) {
+	good := loadFixture(t, "wiregood", "repro/internal/wire")
+	manifest := filepath.Join(t.TempDir(), "wirecompat.golden")
+	if err := WriteManifest(good, manifest); err != nil {
+		t.Fatalf("WriteManifest: %v", err)
+	}
+
+	// The baseline matches its own manifest.
+	if got := Run(good, []Analyzer{WireCompat{ManifestPath: manifest}}); len(got) != 0 {
+		t.Fatalf("baseline should be clean, got:\n%s", renderFindings(got))
+	}
+
+	// The reordered copy trips.
+	bad := loadFixture(t, "wirebad", "repro/internal/wire")
+	got := Run(bad, []Analyzer{WireCompat{ManifestPath: manifest}})
+	if len(got) != 1 {
+		t.Fatalf("want exactly 1 wirecompat finding for the reordered struct, got %d:\n%s", len(got), renderFindings(got))
+	}
+	if !strings.Contains(got[0].Message, "internal/wire.Request") {
+		t.Errorf("finding should name the broken struct: %s", got[0].Message)
+	}
+}
+
+func TestWireCompatMissingManifestIsAFinding(t *testing.T) {
+	good := loadFixture(t, "wiregood", "repro/internal/wire")
+	got := Run(good, []Analyzer{WireCompat{ManifestPath: filepath.Join(t.TempDir(), "absent.golden")}})
+	if len(got) != 1 || !strings.Contains(got[0].Message, "cannot read golden wire manifest") {
+		t.Errorf("want a missing-manifest finding, got:\n%s", renderFindings(got))
+	}
+}
+
+// TestSuppression proves the //lint:ignore mechanics: a correct directive
+// silences exactly its analyzer, a directive for the wrong analyzer
+// suppresses nothing, and a malformed directive is itself reported.
+func TestSuppression(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fixture
+
+import "time"
+
+func suppressedTrailing() time.Time {
+	return time.Now() //lint:ignore simclock reason on the same line
+}
+
+func suppressedAbove() time.Time {
+	//lint:ignore simclock reason on the line above
+	return time.Now()
+}
+
+func wrongAnalyzer() time.Time {
+	//lint:ignore errdrop wrong analyzer name must not silence simclock
+	return time.Now()
+}
+
+func missingReason() time.Time {
+	//lint:ignore simclock
+	return time.Now()
+}
+
+func unsuppressed() time.Time {
+	return time.Now()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := LoadDir(dir, "repro/internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Run(prog, Analyzers(""))
+
+	sim := findingsOn(got, "simclock")
+	// wrongAnalyzer line 16, missingReason line 21 (malformed directives do
+	// not suppress), unsuppressed line 25.
+	if len(sim) != 3 {
+		t.Errorf("want 3 surviving simclock findings, got %d:\n%s", len(sim), renderFindings(got))
+	}
+	wantFindingAt(t, sim, 16, "time.Now")
+	wantFindingAt(t, sim, 21, "time.Now")
+	wantFindingAt(t, sim, 25, "time.Now")
+
+	malformed := findingsOn(got, "lint")
+	want := 0
+	for _, f := range malformed {
+		if strings.Contains(f.Message, "malformed") {
+			want++
+		}
+	}
+	if want != 1 {
+		t.Errorf("want 1 malformed-directive finding, got:\n%s", renderFindings(malformed))
+	}
+}
+
+func TestModulePathAt(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := ModulePathAt(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp != "repro" {
+		t.Errorf("module path = %q, want repro", mp)
+	}
+}

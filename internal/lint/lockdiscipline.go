@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+)
+
+// LockDiscipline enforces the two locking rules the leaky-bucket credit
+// model depends on (paper §II-C eq. 1–2: refill and consume must serialize,
+// or concurrent interleavings mint credit out of thin air):
+//
+//  1. Every mu.Lock()/mu.RLock() statement must either be followed
+//     immediately by `defer mu.Unlock()` (resp. RUnlock) or be matched by a
+//     later textual Unlock on the same receiver within the same function.
+//     This is a deliberate approximation: it catches the "locked and forgot"
+//     class outright, while manual unlock patterns (branching unlocks, as in
+//     the HA accept loop) pass as long as any matching unlock exists after
+//     the lock. It does not prove every return path unlocks — that would
+//     need full control-flow analysis — so prefer the defer form, which the
+//     analyzer accepts unconditionally.
+//
+//  2. A struct field that is accessed through sync/atomic functions
+//     (atomic.AddInt64(&s.n, 1), ...) anywhere in a package must not also be
+//     written with a plain assignment in that package: the mixed accesses
+//     race even under a mutex, because the atomic side does not acquire it.
+//     Fields of the typed atomic.* wrappers are immune by construction and
+//     are not flagged. Matching is by field name within one package.
+type LockDiscipline struct{}
+
+// Name implements Analyzer.
+func (LockDiscipline) Name() string { return "lockdiscipline" }
+
+// Doc implements Analyzer.
+func (LockDiscipline) Doc() string {
+	return "locks must be released (prefer defer); no mixed atomic/plain field access"
+}
+
+var unlockFor = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+// Analyze implements Analyzer.
+func (a LockDiscipline) Analyze(prog *Program) []Finding {
+	var out []Finding
+	for _, pkg := range prog.Packages {
+		out = append(out, a.checkLockPairs(prog, pkg)...)
+		out = append(out, a.checkMixedAtomics(prog, pkg)...)
+	}
+	return out
+}
+
+func (a LockDiscipline) checkLockPairs(prog *Program, pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			out = append(out, a.checkFuncBody(prog, pkg, body)...)
+			return true
+		})
+	}
+	return out
+}
+
+// checkFuncBody scans one function body for Lock calls. Nested function
+// literals are analysis units of their own (the outer walk visits them), so
+// the statement scan does not descend into them — but the search for a
+// matching Unlock does, because releasing inside a deferred closure or a
+// spawned goroutine is legitimate.
+func (a LockDiscipline) checkFuncBody(prog *Program, pkg *Package, body *ast.BlockStmt) []Finding {
+	var out []Finding
+	var walkStmts func(list []ast.Stmt)
+	visitNested := func(s ast.Stmt) {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false // separate analysis unit
+			}
+			if blk, ok := n.(*ast.BlockStmt); ok {
+				walkStmts(blk.List)
+				return false
+			}
+			return true
+		})
+	}
+	walkStmts = func(list []ast.Stmt) {
+		for i, s := range list {
+			recv, method, ok := lockCall(s)
+			if !ok {
+				visitNested(s)
+				continue
+			}
+			want := unlockFor[method]
+			if i+1 < len(list) && isDeferredUnlock(list[i+1], recv, want) {
+				continue
+			}
+			if hasLaterUnlock(body, s.End(), recv, want) {
+				continue
+			}
+			out = append(out, Finding{
+				Analyzer: a.Name(),
+				Pos:      prog.Fset.Position(s.Pos()),
+				Message: fmt.Sprintf("%s.%s() has no matching %s in this function; add `defer %s.%s()` or release on every path",
+					recv, method, want, recv, want),
+			})
+		}
+	}
+	walkStmts(body.List)
+	return out
+}
+
+// lockCall matches `recv.Lock()` / `recv.RLock()` expression statements and
+// returns the rendered receiver and method name.
+func lockCall(s ast.Stmt) (recv, method string, ok bool) {
+	es, isExpr := s.(*ast.ExprStmt)
+	if !isExpr {
+		return "", "", false
+	}
+	call, isCall := es.X.(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	if _, isLock := unlockFor[sel.Sel.Name]; !isLock {
+		return "", "", false
+	}
+	return exprString(sel.X), sel.Sel.Name, true
+}
+
+func isDeferredUnlock(s ast.Stmt, recv, method string) bool {
+	d, ok := s.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	sel, ok := d.Call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return sel.Sel.Name == method && exprString(sel.X) == recv
+}
+
+func hasLaterUnlock(body *ast.BlockStmt, after token.Pos, recv, method string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= after {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name == method && exprString(sel.X) == recv {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkMixedAtomics implements rule 2.
+func (a LockDiscipline) checkMixedAtomics(prog *Program, pkg *Package) []Finding {
+	// Pass 1: fields whose address is taken by a sync/atomic call.
+	atomicFields := make(map[string]token.Position)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || importedPath(pkg, file, id) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if fsel, ok := un.X.(*ast.SelectorExpr); ok {
+					name := fsel.Sel.Name
+					if _, seen := atomicFields[name]; !seen {
+						atomicFields[name] = prog.Fset.Position(un.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: plain writes to those fields.
+	var out []Finding
+	flag := func(sel *ast.SelectorExpr) {
+		name := sel.Sel.Name
+		atomicAt, ok := atomicFields[name]
+		if !ok {
+			return
+		}
+		out = append(out, Finding{
+			Analyzer: a.Name(),
+			Pos:      prog.Fset.Position(sel.Pos()),
+			Message: fmt.Sprintf("field %q is written non-atomically here but accessed via sync/atomic at %s:%d; mixed access races",
+				name, atomicAt.Filename, atomicAt.Line),
+		})
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					if sel, ok := lhs.(*ast.SelectorExpr); ok {
+						flag(sel)
+					}
+				}
+			case *ast.IncDecStmt:
+				if sel, ok := st.X.(*ast.SelectorExpr); ok {
+					flag(sel)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// exprString renders an expression compactly ("s.mu", "t.shards[i].mu").
+func exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return fmt.Sprintf("%T", e)
+	}
+	return buf.String()
+}

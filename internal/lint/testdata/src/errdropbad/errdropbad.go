@@ -1,0 +1,55 @@
+// Package errdropbad is a known-bad fixture for the errdrop analyzer. It is
+// loaded by tests under the pseudo import path "repro/internal/transport".
+package errdropbad
+
+import (
+	"net"
+	"time"
+)
+
+// Bad: Close error vanishes.
+func dropClose(c net.Conn) {
+	c.Close() // want finding: discarded Close error
+}
+
+// Bad: deadline failures are silent, so the timeout discipline is fiction.
+func dropDeadline(c net.Conn, t time.Time) {
+	c.SetDeadline(t) // want finding: discarded SetDeadline error
+}
+
+// Bad: short or failed writes vanish.
+func dropWrite(c net.Conn, p []byte) {
+	c.Write(p) // want finding: discarded Write error
+}
+
+// Bad: deferring anything but Close still hides the error.
+func deferWrite(c net.Conn, p []byte) {
+	defer c.Write(p) // want finding: deferred Write
+}
+
+// Good: deferred cleanup close is the idiom.
+func deferClose(c net.Conn) {
+	defer c.Close()
+}
+
+// Good: handled.
+func handled(c net.Conn, p []byte) error {
+	if _, err := c.Write(p); err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// Good: explicit, auditable discard.
+func explicit(c net.Conn) {
+	_ = c.Close()
+}
+
+// Good: String returns no error; not a watched signature.
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) int { return len(p) }
+
+func notError(w nopWriter, p []byte) {
+	w.Write(p)
+}

@@ -1,0 +1,73 @@
+// Package lockbad is a known-bad fixture for the lockdiscipline analyzer.
+package lockbad
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	n     int
+	hits  int64 // accessed via sync/atomic below
+	cold  int64
+	ready bool
+}
+
+// Bad: lock acquired, never released in this function.
+func (c *counter) leak() int {
+	c.mu.Lock() // want finding: no matching Unlock
+	return c.n
+}
+
+// Bad: read lock leaked.
+func (c *counter) leakRead() int {
+	c.rw.RLock() // want finding: no matching RUnlock
+	return c.n
+}
+
+// Good: the canonical defer pairing.
+func (c *counter) deferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Good: manual unlock later in the function (branching release).
+func (c *counter) manual(fast bool) int {
+	c.mu.Lock()
+	if fast {
+		n := c.n
+		c.mu.Unlock()
+		return n
+	}
+	c.n++
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// Good: released inside a deferred closure.
+func (c *counter) closure() int {
+	c.mu.Lock()
+	defer func() {
+		c.ready = true
+		c.mu.Unlock()
+	}()
+	return c.n
+}
+
+// Bad: c.hits is atomic elsewhere; this plain write races with it.
+func (c *counter) resetHits() {
+	c.hits = 0 // want finding: mixed atomic/plain access
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Good: cold is only ever written plainly.
+func (c *counter) resetCold() {
+	c.cold = 0
+}

@@ -1,0 +1,41 @@
+// Package simclockbad is a known-bad fixture for the simclock analyzer. It
+// is loaded by tests under the pseudo import path "repro/internal/sim".
+package simclockbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad: raw wall clock in a simulation package.
+func wallClock() time.Time {
+	return time.Now() // want finding: time.Now
+}
+
+// Bad: real sleeping and timers.
+func sleepy(d time.Duration) {
+	time.Sleep(d)   // want finding: time.Sleep
+	<-time.After(d) // want finding: time.After
+}
+
+// Bad: implicit Now via Since.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want finding: time.Since
+}
+
+// Bad: process-global RNG.
+func roll() int {
+	return rand.Intn(6) // want finding: rand.Intn
+}
+
+// Good: a seeded source is exactly what the experiments must use.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Good: suppressed with an explicit, reasoned directive.
+func suppressed() time.Time {
+	//lint:ignore simclock fixture exercising the suppression mechanism
+	return time.Now()
+}

@@ -1,0 +1,21 @@
+// Package wirebad is the wiregood fixture with Request's Key and Cost
+// fields deliberately reordered — a wire-breaking edit the wirecompat
+// analyzer must trip on.
+package wirebad
+
+// Status mirrors the real wire.Status.
+type Status uint8
+
+// Request has Key/Cost swapped relative to the golden layout.
+type Request struct {
+	ID   uint64
+	Cost float64
+	Key  string
+}
+
+// Response is unchanged.
+type Response struct {
+	ID     uint64
+	Allow  bool
+	Status Status
+}

@@ -1,0 +1,20 @@
+// Package wiregood is the baseline fixture for the wirecompat analyzer,
+// loaded under the pseudo import path "repro/internal/wire".
+package wiregood
+
+// Status mirrors the real wire.Status.
+type Status uint8
+
+// Request mirrors the real wire.Request layout.
+type Request struct {
+	ID   uint64
+	Key  string
+	Cost float64
+}
+
+// Response mirrors the real wire.Response layout.
+type Response struct {
+	ID     uint64
+	Allow  bool
+	Status Status
+}

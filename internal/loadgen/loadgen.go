@@ -13,6 +13,32 @@ import (
 	"repro/internal/wire"
 )
 
+// Clock supplies time to a run. The zero value reads the real wall clock;
+// experiments inject deterministic functions so paced runs are reproducible
+// (the simclock analyzer bans raw time.Now in this package).
+type Clock struct {
+	// NowFunc returns the current time; nil means real time.
+	NowFunc func() time.Time
+	// AfterFunc mirrors time.After; nil means the real timer.
+	AfterFunc func(time.Duration) <-chan time.Time
+}
+
+func (c Clock) now() time.Time {
+	if c.NowFunc != nil {
+		return c.NowFunc()
+	}
+	//lint:ignore simclock fallback to the wall clock when no clock is injected
+	return time.Now()
+}
+
+func (c Clock) after(d time.Duration) <-chan time.Time {
+	if c.AfterFunc != nil {
+		return c.AfterFunc(d)
+	}
+	//lint:ignore simclock fallback to the real timer when no clock is injected
+	return time.After(d)
+}
+
 // Checker performs one admission check; implementations include the HTTP
 // client (against an LB or a router) and in-process deployments.
 type Checker interface {
@@ -111,6 +137,8 @@ type ClosedLoopConfig struct {
 	Duration time.Duration
 	// TrackSeries enables per-second accepted/rejected traces.
 	TrackSeries bool
+	// Clock supplies time; the zero value uses real time.
+	Clock Clock
 }
 
 // RunClosedLoop executes a closed-loop benchmark run.
@@ -123,7 +151,7 @@ func RunClosedLoop(ctx context.Context, cfg ClosedLoopConfig) Result {
 		AcceptedLatency: metrics.NewHistogram(),
 		RejectedLatency: metrics.NewHistogram(),
 	}
-	start := time.Now()
+	start := cfg.Clock.now()
 	if cfg.TrackSeries {
 		res.AcceptedSeries = metrics.NewTimeSeries(start, time.Second)
 		res.RejectedSeries = metrics.NewTimeSeries(start, time.Second)
@@ -162,16 +190,16 @@ func RunClosedLoop(ctx context.Context, cfg ClosedLoopConfig) Result {
 				if ctx.Err() != nil {
 					return
 				}
-				if !deadline.IsZero() && time.Now().After(deadline) {
+				if !deadline.IsZero() && cfg.Clock.now().After(deadline) {
 					return
 				}
 				if !take() {
 					return
 				}
 				key := keys.Next()
-				t0 := time.Now()
+				t0 := cfg.Clock.now()
 				ok, err := cfg.Checker.Check(key)
-				lat := time.Since(t0)
+				lat := cfg.Clock.now().Sub(t0)
 				if err != nil {
 					errors.Inc()
 					continue
@@ -181,13 +209,13 @@ func RunClosedLoop(ctx context.Context, cfg ClosedLoopConfig) Result {
 					accepted.Inc()
 					res.AcceptedLatency.RecordDuration(lat)
 					if res.AcceptedSeries != nil {
-						res.AcceptedSeries.Observe(time.Now(), 1)
+						res.AcceptedSeries.Observe(cfg.Clock.now(), 1)
 					}
 				} else {
 					rejected.Inc()
 					res.RejectedLatency.RecordDuration(lat)
 					if res.RejectedSeries != nil {
-						res.RejectedSeries.Observe(time.Now(), 1)
+						res.RejectedSeries.Observe(cfg.Clock.now(), 1)
 					}
 				}
 			}
@@ -197,7 +225,7 @@ func RunClosedLoop(ctx context.Context, cfg ClosedLoopConfig) Result {
 	res.Accepted = accepted.Value()
 	res.Rejected = rejected.Value()
 	res.Errors = errors.Value()
-	res.Elapsed = time.Since(start)
+	res.Elapsed = cfg.Clock.now().Sub(start)
 	return res
 }
 
@@ -221,6 +249,8 @@ type OpenLoopConfig struct {
 	Seed int64
 	// TrackSeries enables per-second accepted/rejected traces.
 	TrackSeries bool
+	// Clock supplies time; the zero value uses real time.
+	Clock Clock
 }
 
 // RunOpenLoop executes a paced benchmark run.
@@ -236,7 +266,7 @@ func RunOpenLoop(ctx context.Context, cfg OpenLoopConfig) Result {
 		AcceptedLatency: metrics.NewHistogram(),
 		RejectedLatency: metrics.NewHistogram(),
 	}
-	start := time.Now()
+	start := cfg.Clock.now()
 	if cfg.TrackSeries {
 		res.AcceptedSeries = metrics.NewTimeSeries(start, time.Second)
 		res.RejectedSeries = metrics.NewTimeSeries(start, time.Second)
@@ -250,9 +280,9 @@ func RunOpenLoop(ctx context.Context, cfg OpenLoopConfig) Result {
 		go func() {
 			defer wg.Done()
 			for key := range jobs {
-				t0 := time.Now()
+				t0 := cfg.Clock.now()
 				ok, err := cfg.Checker.Check(key)
-				lat := time.Since(t0)
+				lat := cfg.Clock.now().Sub(t0)
 				if err != nil {
 					errors.Inc()
 					continue
@@ -262,13 +292,13 @@ func RunOpenLoop(ctx context.Context, cfg OpenLoopConfig) Result {
 					accepted.Inc()
 					res.AcceptedLatency.RecordDuration(lat)
 					if res.AcceptedSeries != nil {
-						res.AcceptedSeries.Observe(time.Now(), 1)
+						res.AcceptedSeries.Observe(cfg.Clock.now(), 1)
 					}
 				} else {
 					rejected.Inc()
 					res.RejectedLatency.RecordDuration(lat)
 					if res.RejectedSeries != nil {
-						res.RejectedSeries.Observe(time.Now(), 1)
+						res.RejectedSeries.Observe(cfg.Clock.now(), 1)
 					}
 				}
 			}
@@ -281,7 +311,7 @@ func RunOpenLoop(ctx context.Context, cfg OpenLoopConfig) Result {
 	deadline := start.Add(cfg.Duration)
 	next := start
 pacing:
-	for time.Now().Before(deadline) {
+	for cfg.Clock.now().Before(deadline) {
 		if ctx.Err() != nil {
 			break
 		}
@@ -290,9 +320,9 @@ pacing:
 			jitter = 1 + (rng.Float64()*2-1)*cfg.NoiseFraction
 		}
 		next = next.Add(time.Duration(float64(gap) * jitter))
-		if d := time.Until(next); d > 0 {
+		if d := next.Sub(cfg.Clock.now()); d > 0 {
 			select {
-			case <-time.After(d):
+			case <-cfg.Clock.after(d):
 			case <-ctx.Done():
 				break pacing
 			}
@@ -310,6 +340,6 @@ pacing:
 	res.Accepted = accepted.Value()
 	res.Rejected = rejected.Value()
 	res.Errors = errors.Value()
-	res.Elapsed = time.Since(start)
+	res.Elapsed = cfg.Clock.now().Sub(start)
 	return res
 }

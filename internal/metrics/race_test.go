@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Race-detector stress tests (run via `make race`) for the counters and
+// histograms every hot path leans on. Readers run concurrently with
+// writers, so torn snapshots or unsynchronized accumulator state show up
+// under -race; the final totals catch lost updates.
+
+func TestCounterGaugeRaceStress(t *testing.T) {
+	var c Counter
+	var g Gauge
+	const (
+		workers = 8
+		iters   = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				c.Value()
+				g.Value()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*iters {
+		t.Errorf("counter lost updates: got %d, want %d", got, workers*iters)
+	}
+	if got := g.Value(); got != workers*iters {
+		t.Errorf("gauge lost updates: got %d, want %d", got, workers*iters)
+	}
+}
+
+func TestHistogramRaceStress(t *testing.T) {
+	h := NewHistogram()
+	const (
+		writers = 6
+		readers = 2
+		iters   = 2000
+	)
+	var writeWG, readWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < iters; i++ {
+				h.Record(int64(w*iters + i))
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Quantile(0.99)
+					h.Snapshot()
+					h.Mean()
+				}
+			}
+		}()
+	}
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+	if got := h.Count(); got != writers*iters {
+		t.Errorf("histogram lost records: got %d, want %d", got, writers*iters)
+	}
+	if h.Min() < 0 || h.Max() < h.Min() {
+		t.Errorf("min/max incoherent after stress: min=%d max=%d", h.Min(), h.Max())
+	}
+}
+
+func TestWelfordAndTimeSeriesRaceStress(t *testing.T) {
+	var w Welford
+	origin := time.Unix(0, 0)
+	ts := NewTimeSeries(origin, time.Second)
+	const (
+		workers = 8
+		iters   = 1000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				w.Add(float64(i))
+				ts.Observe(origin.Add(time.Duration(i)*time.Millisecond), 1)
+				if i%100 == 0 {
+					w.Mean()
+					ts.Values()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := w.N(); got != workers*iters {
+		t.Errorf("welford lost samples: got %d, want %d", got, workers*iters)
+	}
+	total := 0.0
+	for _, v := range ts.Values() {
+		total += v
+	}
+	if total != workers*iters {
+		t.Errorf("time series lost observations: got %v, want %d", total, workers*iters)
+	}
+}

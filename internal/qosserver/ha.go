@@ -82,7 +82,7 @@ func (h *haListener) acceptLoop() {
 		h.mu.Lock()
 		if h.closed {
 			h.mu.Unlock()
-			conn.Close()
+			_ = conn.Close()
 			return
 		}
 		h.conns[conn] = struct{}{}
@@ -98,7 +98,7 @@ func (h *haListener) serve(conn net.Conn) {
 		h.mu.Lock()
 		delete(h.conns, conn)
 		h.mu.Unlock()
-		conn.Close()
+		_ = conn.Close()
 	}()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
@@ -131,10 +131,10 @@ func (h *haListener) Close() {
 	}
 	h.closed = true
 	for c := range h.conns {
-		c.Close()
+		_ = c.Close()
 	}
 	h.mu.Unlock()
-	h.ln.Close()
+	_ = h.ln.Close()
 	h.wg.Wait()
 }
 
@@ -155,6 +155,11 @@ func (s *Server) snapshotTable() []haEntry {
 func (s *Server) applySnapshot(entries []haEntry) {
 	now := s.clock()
 	for _, e := range entries {
+		// Same defensive check as applyHandoff: snapshots cross the network
+		// too, and an unusable rule must not reach the table.
+		if e.Rule.Validate() != nil {
+			continue
+		}
 		var opts []bucket.Option
 		if s.cfg.RefillInterval > 0 {
 			opts = append(opts, bucket.WithTickRefill())

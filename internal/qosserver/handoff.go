@@ -97,6 +97,12 @@ func pushHandoff(addr string, entries []haEntry) error {
 func (s *Server) applyHandoff(entries []haEntry) {
 	now := s.clock()
 	for _, e := range entries {
+		// Frames arrive over the network; a corrupt or malicious peer must
+		// not install rules the bucket math cannot uphold (negative
+		// capacity, credit outside [0, capacity], empty key).
+		if e.Rule.Validate() != nil {
+			continue
+		}
 		if b := s.table.Get(e.Rule.Key); b != nil &&
 			b.RefillRate() == e.Rule.RefillRate && b.Capacity() == e.Rule.Capacity {
 			if cur := b.Credit(now); e.Rule.Credit < cur {

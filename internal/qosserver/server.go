@@ -90,6 +90,7 @@ type Stats struct {
 	DBQueries  int64 // rule fetches that hit the database
 	DefaultHit int64 // decisions served by the default rule
 	DBErrors   int64
+	SendErrors int64 // response datagrams the kernel refused to send
 }
 
 // Server is a running QoS server node.
@@ -116,6 +117,7 @@ type Server struct {
 	dbQueries  metrics.Counter
 	defaultHit metrics.Counter
 	dbErrors   metrics.Counter
+	sendErrors metrics.Counter
 
 	ha *haListener
 
@@ -168,7 +170,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ReplicationAddr != "" {
 		ha, err := newHAListener(s, cfg.ReplicationAddr)
 		if err != nil {
-			conn.Close()
+			_ = conn.Close()
 			return nil, err
 		}
 		s.ha = ha
@@ -250,8 +252,12 @@ func (s *Server) worker() {
 		s.decisionLatency.RecordDuration(s.clock().Sub(start))
 		out = wire.AppendResponse(out[:0], resp)
 		// Fire and forget (§III-C: "The worker thread does not care about
-		// whether the request router receives the response or not").
-		s.conn.WriteToUDP(out, pkt.raddr)
+		// whether the request router receives the response or not") — but a
+		// send the kernel refused is counted, or silent drops would read as
+		// router-side packet loss.
+		if _, err := s.conn.WriteToUDP(out, pkt.raddr); err != nil {
+			s.sendErrors.Inc()
+		}
 	}
 }
 
@@ -492,6 +498,7 @@ func (s *Server) Stats() Stats {
 		DBQueries:  s.dbQueries.Value(),
 		DefaultHit: s.defaultHit.Value(),
 		DBErrors:   s.dbErrors.Value(),
+		SendErrors: s.sendErrors.Value(),
 	}
 }
 

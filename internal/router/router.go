@@ -171,7 +171,9 @@ func (b *backend) getClient() (*transport.Client, error) {
 func (b *backend) invalidate() {
 	b.mu.Lock()
 	if b.client != nil {
-		b.client.Close()
+		// The client is being abandoned after a timeout; its socket-close
+		// error has no one to report to.
+		_ = b.client.Close()
 		b.client = nil
 	}
 	b.mu.Unlock()

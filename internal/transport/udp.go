@@ -199,6 +199,7 @@ type Server struct {
 	// DropEvery, when > 0, drops every Nth request (fault injection).
 	dropEvery atomic.Int64
 	seen      atomic.Int64
+	writeErrs atomic.Int64
 }
 
 // NewServer starts a synchronous UDP server on addr ("127.0.0.1:0" for an
@@ -244,9 +245,16 @@ func (s *Server) serve() {
 		resp := s.handler(req)
 		resp.ID = req.ID
 		out = wire.AppendResponse(out[:0], resp)
-		s.conn.WriteToUDP(out, raddr)
+		// The response is fire-and-forget (the client retries), but a send
+		// the kernel refused is still counted so it cannot hide.
+		if _, err := s.conn.WriteToUDP(out, raddr); err != nil {
+			s.writeErrs.Add(1)
+		}
 	}
 }
+
+// WriteErrors reports how many response sends the kernel refused.
+func (s *Server) WriteErrors() int64 { return s.writeErrs.Load() }
 
 // Close stops the server.
 func (s *Server) Close() error {
