@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet lint lint-manifest race fuzz-smoke bench-membership
+.PHONY: check build test vet lint lint-manifest race fuzz-smoke bench-membership bench-observability smoke-metrics
 
 # The full pre-merge gate: static checks, the janus-vet analyzer suite,
 # build, and the complete test suite under the race detector.
@@ -40,3 +40,13 @@ fuzz-smoke:
 # Regenerates the numbers recorded in BENCH_membership.json.
 bench-membership:
 	$(GO) test -run '^$$' -bench . -benchtime 2s ./internal/membership/
+
+# Regenerates the numbers recorded in BENCH_observability.json: the cost of
+# the tracing gate at sampling rates 0 / 0.01 / 1.
+bench-observability:
+	$(GO) test -run '^$$' -bench Observability -benchtime 2s .
+
+# Boots the four-tier stack with -metrics-addr and asserts every daemon's
+# /metrics answers with janus_* series.
+smoke-metrics:
+	./scripts/smoke_metrics.sh

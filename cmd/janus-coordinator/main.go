@@ -21,13 +21,16 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/debugz"
 	"repro/internal/membership"
+	"repro/internal/metrics"
 )
 
 func main() {
 	var (
-		addr = flag.String("addr", "127.0.0.1:7300", "HTTP listen address")
-		ttl  = flag.Duration("ttl", 3*time.Second, "heartbeat TTL before a member is ejected")
+		addr        = flag.String("addr", "127.0.0.1:7300", "HTTP listen address")
+		ttl         = flag.Duration("ttl", 3*time.Second, "heartbeat TTL before a member is ejected")
+		metricsAddr = flag.String("metrics-addr", "", "HTTP address for /metrics and /debug endpoints (empty disables)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "janus-coordinator ", log.LstdFlags|log.Lmicroseconds)
@@ -43,6 +46,30 @@ func main() {
 		logger.Fatalf("start: %v", err)
 	}
 	defer svc.Close()
+
+	reg := metrics.NewRegistry()
+	reg.GaugeFunc("janus_coordinator_epoch", "current membership view epoch",
+		func() float64 { return float64(coord.Epoch()) })
+	reg.GaugeFunc("janus_coordinator_members", "live members in the current view",
+		func() float64 { return float64(len(coord.View().Backends)) })
+	dbg, err := debugz.Serve(*metricsAddr, debugz.Options{
+		Service:  "janus-coordinator",
+		Registry: reg,
+		Sections: []debugz.Section{{
+			Name: "membership",
+			Help: "published view (epoch, backends)",
+			Fn:   func() any { return coord.View() },
+		}},
+		Logger: logger,
+	})
+	if err != nil {
+		logger.Fatalf("debug endpoint: %v", err)
+	}
+	defer dbg.Close()
+	if dbg.Addr() != "" {
+		logger.Printf("metrics/debug on http://%s", dbg.Addr())
+	}
+
 	logger.Printf("membership coordinator on http://%s (ttl=%v)", svc.Addr(), *ttl)
 
 	sig := make(chan os.Signal, 1)

@@ -16,14 +16,17 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/debugz"
 	"repro/internal/lb"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:9090", "HTTP listen address")
-		backends = flag.String("backends", "", "comma-separated request router addresses")
-		policy   = flag.String("policy", "round-robin", "routing policy: round-robin|least-connections")
+		addr        = flag.String("addr", "127.0.0.1:9090", "HTTP listen address")
+		backends    = flag.String("backends", "", "comma-separated request router addresses")
+		policy      = flag.String("policy", "round-robin", "routing policy: round-robin|least-connections")
+		metricsAddr = flag.String("metrics-addr", "", "HTTP address for /metrics and /debug endpoints (empty disables)")
+		traceSample = flag.Float64("trace-sample", 0, "fraction of requests to trace end to end [0,1]")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "janus-lb ", log.LstdFlags|log.Lmicroseconds)
@@ -40,6 +43,27 @@ func main() {
 		logger.Fatalf("start: %v", err)
 	}
 	defer l.Close()
+	l.Tracer().SetRate(*traceSample)
+
+	dbg, err := debugz.Serve(*metricsAddr, debugz.Options{
+		Service:  "janus-lb",
+		Registry: l.Registry(),
+		Tracer:   l.Tracer(),
+		Sections: []debugz.Section{{
+			Name: "backends",
+			Help: "back-end addresses and per-backend served counts",
+			Fn:   func() any { return l.ServedPerBackend() },
+		}},
+		Logger: logger,
+	})
+	if err != nil {
+		logger.Fatalf("debug endpoint: %v", err)
+	}
+	defer dbg.Close()
+	if dbg.Addr() != "" {
+		logger.Printf("metrics/debug on http://%s", dbg.Addr())
+	}
+
 	logger.Printf("gateway load balancer on http://%s (%s, %d back ends)", l.Addr(), *policy, len(l.Backends()))
 
 	sig := make(chan os.Signal, 1)

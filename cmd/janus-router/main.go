@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/debugz"
 	"repro/internal/membership"
 	"repro/internal/router"
 	"repro/internal/transport"
@@ -40,6 +41,8 @@ func main() {
 		timeout      = flag.Duration("timeout", transport.DefaultTimeout, "per-attempt UDP timeout")
 		retries      = flag.Int("retries", transport.DefaultRetries, "maximum UDP attempts")
 		defaultReply = flag.Bool("default-reply", false, "verdict returned when a QoS server is unreachable")
+		metricsAddr  = flag.String("metrics-addr", "", "HTTP address for /metrics and /debug endpoints (empty disables)")
+		traceSample  = flag.Float64("trace-sample", 0, "fraction of direct (non-LB) requests to trace [0,1]")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "janus-router ", log.LstdFlags|log.Lmicroseconds)
@@ -82,6 +85,27 @@ func main() {
 		logger.Fatalf("start: %v", err)
 	}
 	defer r.Close()
+	r.Tracer().SetRate(*traceSample)
+
+	dbg, err := debugz.Serve(*metricsAddr, debugz.Options{
+		Service:  "janus-router",
+		Registry: r.Registry(),
+		Tracer:   r.Tracer(),
+		Sections: []debugz.Section{{
+			Name: "membership",
+			Help: "current routing view (epoch, backends)",
+			Fn:   func() any { return r.View() },
+		}},
+		Logger: logger,
+	})
+	if err != nil {
+		logger.Fatalf("debug endpoint: %v", err)
+	}
+	defer dbg.Close()
+	if dbg.Addr() != "" {
+		logger.Printf("metrics/debug on http://%s", dbg.Addr())
+	}
+
 	logger.Printf("request router on http://%s with %d QoS partitions (picker=%s timeout=%v retries=%d)",
 		r.Addr(), r.NumBackends(), picker.Kind(), *timeout, *retries)
 

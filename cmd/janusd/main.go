@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/bucket"
+	"repro/internal/debugz"
 	"repro/internal/membership"
 	"repro/internal/minisql"
 	"repro/internal/qosserver"
@@ -46,6 +47,7 @@ func main() {
 		coordAddr   = flag.String("coordinator", "", "membership coordinator HTTP address (empty = no membership)")
 		memberName  = flag.String("member-name", "", "name to register with the coordinator (default: the UDP listen address)")
 		beatIv      = flag.Duration("beat", time.Second, "coordinator heartbeat interval")
+		metricsAddr = flag.String("metrics-addr", "", "HTTP address for /metrics and /debug endpoints (empty disables)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "janusd ", log.LstdFlags|log.Lmicroseconds)
@@ -85,6 +87,25 @@ func main() {
 		}
 		logger.Printf("preloaded %d rules", srv.TableLen())
 	}
+	dbg, err := debugz.Serve(*metricsAddr, debugz.Options{
+		Service:  "janusd",
+		Registry: srv.Registry(),
+		Tracer:   srv.Tracer(),
+		Sections: []debugz.Section{{
+			Name: "qos",
+			Help: "leaky-bucket table snapshot (key, credit, capacity, refill)",
+			Fn:   func() any { return srv.SnapshotBuckets(1024) },
+		}},
+		Logger: logger,
+	})
+	if err != nil {
+		logger.Fatalf("debug endpoint: %v", err)
+	}
+	defer dbg.Close()
+	if dbg.Addr() != "" {
+		logger.Printf("metrics/debug on http://%s", dbg.Addr())
+	}
+
 	logger.Printf("QoS server on udp://%s (table=%s workers=%d)", srv.Addr(), *tableKind, *workers)
 	if srv.ReplicationAddr() != "" {
 		logger.Printf("HA replication on tcp://%s", srv.ReplicationAddr())

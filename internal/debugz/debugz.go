@@ -1,0 +1,160 @@
+// Package debugz is the shared observability endpoint every Janus daemon
+// mounts. One mux serves:
+//
+//	/metrics        Prometheus text exposition of the daemon's registry
+//	/debug/traces   JSON dump of the daemon's trace recorder
+//	/debug/<name>   JSON snapshot from a daemon-provided Section
+//	/debug/pprof/*  the standard net/http/pprof profiles
+//	/healthz        liveness probe ("ok")
+//	/               plain-text index of everything above
+//
+// The paper's evaluation (§V) reads throughput and latency out of each tier
+// separately; this package is how those numbers leave the process without
+// each daemon growing its own ad-hoc HTTP surface.
+package debugz
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Section is one daemon-specific debug page: Fn's return value is rendered
+// as indented JSON at /debug/<name>.
+type Section struct {
+	// Name is the path component under /debug/.
+	Name string
+	// Help is one line shown on the index page.
+	Help string
+	// Fn produces the snapshot to serialize. It is called per request and
+	// must be safe for concurrent use.
+	Fn func() any
+}
+
+// Options configures a debug mux.
+type Options struct {
+	// Service names the daemon (shown on the index and in trace dumps).
+	Service string
+	// Registry backs /metrics; nil omits the endpoint.
+	Registry *metrics.Registry
+	// Tracer backs /debug/traces; nil omits the endpoint.
+	Tracer *trace.Recorder
+	// Sections are additional /debug/<name> pages.
+	Sections []Section
+	// Logger receives serve errors; nil discards.
+	Logger *log.Logger
+}
+
+// Mux builds the debug HTTP mux for opts.
+func Mux(opts Options) *http.ServeMux {
+	mux := http.NewServeMux()
+	var index []string
+	if opts.Registry != nil {
+		mux.Handle("/metrics", opts.Registry.Handler())
+		index = append(index, "/metrics — Prometheus text exposition")
+	}
+	if opts.Tracer != nil {
+		tracer, service := opts.Tracer, opts.Service
+		mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, tracer.Dump(service))
+		})
+		index = append(index, "/debug/traces — sampled request traces (recent + slowest)")
+	}
+	for _, s := range opts.Sections {
+		fn := s.Fn
+		mux.HandleFunc("/debug/"+s.Name, func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, fn())
+		})
+		index = append(index, fmt.Sprintf("/debug/%s — %s", s.Name, s.Help))
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	index = append(index, "/debug/pprof/ — runtime profiles")
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if _, err := w.Write([]byte("ok\n")); err != nil {
+			return
+		}
+	})
+	index = append(index, "/healthz — liveness probe")
+	sort.Strings(index)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "%s debug endpoints:\n", opts.Service)
+		for _, line := range index {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// The header is already out; all we can do is stop writing.
+		return
+	}
+}
+
+// Server is a running debug endpoint.
+type Server struct {
+	ln     net.Listener
+	server *http.Server
+	wg     sync.WaitGroup
+}
+
+// Serve binds addr and serves the debug mux for opts until Close. An empty
+// addr returns (nil, nil) so daemons can pass their -metrics-addr flag
+// through unconditionally.
+func Serve(addr string, opts Options) (*Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debugz: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, server: &http.Server{Handler: Mux(opts)}}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.server.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address ("" for a nil server, so callers need not
+// branch on whether the endpoint was enabled).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the endpoint down. Safe on a nil server.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.server.Close()
+	s.wg.Wait()
+	return err
+}

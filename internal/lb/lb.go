@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Policy selects the back-end choice algorithm.
@@ -50,6 +51,16 @@ type Config struct {
 	MaxRetries int
 	// Logger receives operational messages; nil discards.
 	Logger *log.Logger
+	// Registry receives the LB's counters and latency histogram for
+	// /metrics exposition; nil creates a private registry.
+	Registry *metrics.Registry
+	// Tracer holds the LB's trace state. The LB is the edge of the stack:
+	// its sampler decides which requests are traced (clients may also force
+	// a trace by sending an X-Janus-Trace header), and completed traces —
+	// the LB span plus every downstream span reported in the X-Janus-Spans
+	// response header — land in its recorder. Nil creates a private
+	// recorder with sampling disabled.
+	Tracer *trace.Recorder
 }
 
 // Stats are cumulative counters for the load balancer.
@@ -62,8 +73,8 @@ type Stats struct {
 
 type backendState struct {
 	addr        string
-	outstanding metrics.Gauge
-	served      metrics.Counter
+	outstanding *metrics.Gauge
+	served      *metrics.Counter
 }
 
 // LB is a running gateway load balancer.
@@ -80,12 +91,26 @@ type LB struct {
 
 	latency *metrics.Histogram
 
-	requests      metrics.Counter
-	proxied       metrics.Counter
-	backendErrors metrics.Counter
-	noBackends    metrics.Counter
+	registry *metrics.Registry
+	tracer   *trace.Recorder
+
+	requests      *metrics.Counter
+	proxied       *metrics.Counter
+	backendErrors *metrics.Counter
+	noBackends    *metrics.Counter
 
 	wg sync.WaitGroup
+}
+
+// newBackendState builds the per-backend series, labelled by address so the
+// §V-A workload-distribution check reads straight off /metrics.
+func (l *LB) newBackendState(addr string) *backendState {
+	label := metrics.Label{Key: "backend", Value: addr}
+	return &backendState{
+		addr:        addr,
+		outstanding: l.registry.Gauge("janus_lb_backend_outstanding", "requests in flight to one back end", label),
+		served:      l.registry.Counter("janus_lb_backend_served_total", "requests completed by one back end", label),
+	}
 }
 
 // New starts a load balancer.
@@ -104,11 +129,26 @@ func New(cfg Config) (*LB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lb: listen %s: %w", cfg.Addr, err)
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = trace.NewRecorder(trace.Config{})
+	}
 	l := &LB{
-		cfg:     cfg,
-		ln:      ln,
-		logger:  logger,
-		latency: metrics.NewHistogram(),
+		cfg:      cfg,
+		ln:       ln,
+		logger:   logger,
+		latency:  metrics.NewHistogram(),
+		registry: reg,
+		tracer:   tracer,
+		requests: reg.Counter("janus_lb_requests_total", "HTTP requests accepted at the gateway"),
+		proxied:  reg.Counter("janus_lb_proxied_total", "exchanges attempted against back ends"),
+		backendErrors: reg.Counter("janus_lb_backend_errors_total",
+			"proxied exchanges that failed against a back end"),
+		noBackends: reg.Counter("janus_lb_no_backends_total", "requests failed because no back end was usable"),
 		client: &http.Client{
 			Transport: &http.Transport{
 				MaxIdleConnsPerHost: 256,
@@ -117,8 +157,9 @@ func New(cfg Config) (*LB, error) {
 			Timeout: 10 * time.Second,
 		},
 	}
+	reg.RegisterHistogram("janus_lb_latency_ns", "end-to-end proxy latency in nanoseconds", l.latency)
 	for _, b := range cfg.Backends {
-		l.backends = append(l.backends, &backendState{addr: b})
+		l.backends = append(l.backends, l.newBackendState(b))
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", l.proxy)
@@ -144,7 +185,7 @@ func (l *LB) AddBackend(addr string) {
 			return
 		}
 	}
-	l.backends = append(l.backends, &backendState{addr: addr})
+	l.backends = append(l.backends, l.newBackendState(addr))
 }
 
 // RemoveBackend deregisters a back-end node (auto-scaling detach).
@@ -215,6 +256,15 @@ func (l *LB) proxy(w http.ResponseWriter, req *http.Request) {
 	if l.cfg.HopDelay != nil {
 		l.cfg.HopDelay()
 	}
+	// The LB is the trace edge: honour a client-supplied trace ID, or draw
+	// a sampling decision (one atomic load when sampling is disabled).
+	tid, _ := trace.ParseID(req.Header.Get(trace.Header))
+	if tid == 0 {
+		if id, ok := l.tracer.Sample(); ok {
+			tid = id
+			req.Header.Set(trace.Header, trace.FormatID(tid))
+		}
+	}
 	maxTries := l.cfg.MaxRetries
 	if maxTries <= 0 {
 		maxTries = len(l.Backends())
@@ -229,13 +279,18 @@ func (l *LB) proxy(w http.ResponseWriter, req *http.Request) {
 		if b == nil {
 			break
 		}
-		if err := l.forward(w, req, b); err != nil {
+		spanHdr, err := l.forward(w, req, b)
+		if err != nil {
 			lastErr = err
 			l.backendErrors.Inc()
 			skip[b] = true
 			continue
 		}
-		l.latency.RecordDuration(time.Since(start))
+		d := time.Since(start)
+		l.latency.RecordDuration(d)
+		if tid != 0 {
+			l.completeTrace(tid, spanHdr, b.addr, try, start, d)
+		}
 		return
 	}
 	l.noBackends.Inc()
@@ -245,20 +300,39 @@ func (l *LB) proxy(w http.ResponseWriter, req *http.Request) {
 	http.Error(w, lastErr.Error(), http.StatusBadGateway)
 }
 
-// forward performs one proxied exchange against back end b.
-func (l *LB) forward(w http.ResponseWriter, req *http.Request, b *backendState) error {
+// completeTrace assembles the request's trace: the LB's own span first,
+// then every downstream span the router reported in the response header.
+func (l *LB) completeTrace(tid uint64, spanHdr, backend string, retries int, start time.Time, d time.Duration) {
+	downstream, err := trace.DecodeSpans(spanHdr)
+	if err != nil {
+		l.logger.Printf("lb: dropping malformed span header from %s: %v", backend, err)
+	}
+	spans := make([]trace.Span, 0, 1+len(downstream))
+	spans = append(spans, trace.Span{
+		Hop:   "lb",
+		Note:  fmt.Sprintf("backend=%s retries=%d", backend, retries),
+		Start: start.UnixNano(),
+		Dur:   int64(d),
+	})
+	spans = append(spans, downstream...)
+	l.tracer.Record(&trace.Trace{ID: trace.HexID(tid), Spans: spans})
+}
+
+// forward performs one proxied exchange against back end b, returning the
+// X-Janus-Spans header the back end reported (empty when untraced).
+func (l *LB) forward(w http.ResponseWriter, req *http.Request, b *backendState) (string, error) {
 	b.outstanding.Add(1)
 	defer b.outstanding.Add(-1)
 	l.proxied.Inc()
 	url := "http://" + b.addr + req.URL.RequestURI()
 	outReq, err := http.NewRequestWithContext(req.Context(), req.Method, url, req.Body)
 	if err != nil {
-		return err
+		return "", err
 	}
 	outReq.Header = req.Header.Clone()
 	resp, err := l.client.Do(outReq)
 	if err != nil {
-		return err
+		return "", err
 	}
 	defer resp.Body.Close()
 	b.served.Inc()
@@ -269,7 +343,7 @@ func (l *LB) forward(w http.ResponseWriter, req *http.Request, b *backendState) 
 	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
-	return nil
+	return resp.Header.Get(trace.SpanHeader), nil
 }
 
 // Stats returns a snapshot of the LB counters.
@@ -296,6 +370,12 @@ func (l *LB) ServedPerBackend() map[string]int64 {
 
 // Latency returns the end-to-end proxy latency histogram.
 func (l *LB) Latency() *metrics.Histogram { return l.latency }
+
+// Registry returns the metrics registry backing the LB's counters.
+func (l *LB) Registry() *metrics.Registry { return l.registry }
+
+// Tracer returns the LB's trace recorder (the edge sampler).
+func (l *LB) Tracer() *trace.Recorder { return l.tracer }
 
 // Close shuts the load balancer down.
 func (l *LB) Close() error {

@@ -40,6 +40,9 @@ var errDropScope = []string{
 	"internal/transport",
 	"internal/router",
 	"internal/qosserver",
+	"internal/lb",
+	"internal/debugz",
+	"internal/trace",
 }
 
 var errDropMethods = map[string]bool{

@@ -43,11 +43,21 @@ type Meter struct {
 }
 
 // NewMeter returns a meter whose clock starts now.
-func NewMeter() *Meter { return newMeterAt(time.Now) }
+func NewMeter() *Meter { return NewMeterWithClock(time.Now) }
 
-func newMeterAt(now func() time.Time) *Meter {
+// NewMeterWithClock returns a meter reading time through now, so daemons
+// under test (or under simulation) never touch the wall clock through their
+// meters. A nil clock selects time.Now.
+func NewMeterWithClock(now func() time.Time) *Meter {
+	if now == nil {
+		now = time.Now
+	}
 	return &Meter{start: now(), now: now}
 }
+
+// newMeterAt is kept for in-package callers; new code should use
+// NewMeterWithClock.
+func newMeterAt(now func() time.Time) *Meter { return NewMeterWithClock(now) }
 
 // Mark records n events.
 func (m *Meter) Mark(n int64) {

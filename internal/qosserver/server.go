@@ -38,6 +38,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/store"
 	"repro/internal/table"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -77,6 +78,14 @@ type Config struct {
 	Clock func() time.Time
 	// Logger receives operational messages; nil discards.
 	Logger *log.Logger
+	// Registry receives the server's counters and latency histogram for
+	// /metrics exposition; nil creates a private registry (Stats() and the
+	// accessors work either way).
+	Registry *metrics.Registry
+	// Tracer records the worker spans of requests that arrive with a wire
+	// trace ID; nil creates a private recorder. The server never samples —
+	// the sampling decision is made at the edge and carried in the request.
+	Tracer *trace.Recorder
 }
 
 // Stats are cumulative operation counters for one server.
@@ -108,16 +117,19 @@ type Server struct {
 
 	decisionLatency *metrics.Histogram
 
-	received   metrics.Counter
-	dropped    metrics.Counter
-	malformed  metrics.Counter
-	decisions  metrics.Counter
-	allowed    metrics.Counter
-	denied     metrics.Counter
-	dbQueries  metrics.Counter
-	defaultHit metrics.Counter
-	dbErrors   metrics.Counter
-	sendErrors metrics.Counter
+	registry *metrics.Registry
+	tracer   *trace.Recorder
+
+	received   *metrics.Counter
+	dropped    *metrics.Counter
+	malformed  *metrics.Counter
+	decisions  *metrics.Counter
+	allowed    *metrics.Counter
+	denied     *metrics.Counter
+	dbQueries  *metrics.Counter
+	defaultHit *metrics.Counter
+	dbErrors   *metrics.Counter
+	sendErrors *metrics.Counter
 
 	ha *haListener
 
@@ -157,6 +169,14 @@ func New(cfg Config) (*Server, error) {
 	if logger == nil {
 		logger = log.New(discard{}, "", 0)
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = trace.NewRecorder(trace.Config{})
+	}
 	s := &Server{
 		cfg:             cfg,
 		conn:            conn,
@@ -164,9 +184,24 @@ func New(cfg Config) (*Server, error) {
 		clock:           clock,
 		fifo:            make(chan packet, cfg.QueueSize),
 		decisionLatency: metrics.NewHistogram(),
+		registry:        reg,
+		tracer:          tracer,
+		received:        reg.Counter("janus_qos_received_total", "datagrams pulled off the UDP socket"),
+		dropped:         reg.Counter("janus_qos_dropped_total", "datagrams discarded because the FIFO was full"),
+		malformed:       reg.Counter("janus_qos_malformed_total", "datagrams that failed to decode"),
+		decisions:       reg.Counter("janus_qos_decisions_total", "admission decisions made"),
+		allowed:         reg.Counter("janus_qos_decisions_allowed_total", "decisions that admitted the request"),
+		denied:          reg.Counter("janus_qos_decisions_denied_total", "decisions that denied the request"),
+		dbQueries:       reg.Counter("janus_qos_db_queries_total", "rule fetches that hit the database"),
+		defaultHit:      reg.Counter("janus_qos_default_rule_total", "decisions served by the default rule"),
+		dbErrors:        reg.Counter("janus_qos_db_errors_total", "database operations that failed"),
+		sendErrors:      reg.Counter("janus_qos_send_errors_total", "response datagrams the kernel refused to send"),
 		quit:            make(chan struct{}),
 		logger:          logger,
 	}
+	reg.RegisterHistogram("janus_qos_decision_latency_ns", "worker-side admission decision latency in nanoseconds", s.decisionLatency)
+	reg.GaugeFunc("janus_qos_table_keys", "keys resident in the local QoS table", func() float64 { return float64(s.table.Len()) })
+	reg.GaugeFunc("janus_qos_fifo_depth", "datagrams queued between listener and workers", func() float64 { return float64(len(s.fifo)) })
 	if cfg.ReplicationAddr != "" {
 		ha, err := newHAListener(s, cfg.ReplicationAddr)
 		if err != nil {
@@ -249,7 +284,20 @@ func (s *Server) worker() {
 		}
 		start := s.clock()
 		resp := s.Decide(req)
-		s.decisionLatency.RecordDuration(s.clock().Sub(start))
+		d := s.clock().Sub(start)
+		s.decisionLatency.RecordDuration(d)
+		// The untraced hot path pays only the TraceID == 0 comparison; a
+		// sampled request echoes its ID plus the worker-side processing
+		// time, and files its span in the local /debug/traces buffer.
+		if req.TraceID != 0 {
+			resp.ServerNanos = int64(d)
+			s.tracer.Record(&trace.Trace{ID: trace.HexID(req.TraceID), Spans: []trace.Span{{
+				Hop:   "qosserver",
+				Note:  "status=" + resp.Status.String(),
+				Start: start.UnixNano(),
+				Dur:   int64(d),
+			}}})
+		}
 		out = wire.AppendResponse(out[:0], resp)
 		// Fire and forget (§III-C: "The worker thread does not care about
 		// whether the request router receives the response or not") — but a
@@ -286,7 +334,7 @@ func (s *Server) Decide(req wire.Request) wire.Response {
 	} else {
 		s.denied.Inc()
 	}
-	return wire.Response{ID: req.ID, Allow: allow, Status: status}
+	return wire.Response{ID: req.ID, Allow: allow, Status: status, TraceID: req.TraceID}
 }
 
 // installRule fetches the rule for key from the database (or applies the
@@ -504,6 +552,43 @@ func (s *Server) Stats() Stats {
 
 // DecisionLatency returns the decision-latency histogram.
 func (s *Server) DecisionLatency() *metrics.Histogram { return s.decisionLatency }
+
+// Registry returns the metrics registry carrying the server's counters.
+func (s *Server) Registry() *metrics.Registry { return s.registry }
+
+// Tracer returns the trace recorder holding the server's worker spans.
+func (s *Server) Tracer() *trace.Recorder { return s.tracer }
+
+// BucketSnapshot is one row of the /debug/qos bucket-table dump.
+type BucketSnapshot struct {
+	Key        string  `json:"key"`
+	Credit     float64 `json:"credit"`
+	Capacity   float64 `json:"capacity"`
+	RefillRate float64 `json:"refill_rate"`
+	// Default marks keys served by the default rule (absent from the
+	// database).
+	Default bool `json:"default,omitempty"`
+}
+
+// SnapshotBuckets captures up to limit rows of the live bucket table
+// (limit <= 0 means all), with credits brought current to the server clock.
+// Iteration order is unspecified — this is a debugging view, not an API.
+func (s *Server) SnapshotBuckets(limit int) []BucketSnapshot {
+	now := s.clock()
+	var out []BucketSnapshot
+	s.table.Range(func(key string, b *bucket.Bucket) bool {
+		_, isDefault := s.defaults.Load(key)
+		out = append(out, BucketSnapshot{
+			Key:        key,
+			Credit:     b.Credit(now),
+			Capacity:   b.Capacity(),
+			RefillRate: b.RefillRate(),
+			Default:    isDefault,
+		})
+		return limit <= 0 || len(out) < limit
+	})
+	return out
+}
 
 // Close shuts the server down and waits for all goroutines.
 func (s *Server) Close() error {

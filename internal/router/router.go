@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/membership"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -81,6 +82,15 @@ type Config struct {
 	DefaultReply bool
 	// Logger receives operational messages; nil discards.
 	Logger *log.Logger
+	// Registry receives the router's counters, latency histogram, and the
+	// shared transport counters for /metrics exposition; nil creates a
+	// private registry.
+	Registry *metrics.Registry
+	// Tracer holds the router's trace state. Requests arriving with an
+	// X-Janus-Trace header are traced unconditionally (the edge already
+	// sampled); otherwise the tracer's own sampler may start a trace. Nil
+	// creates a private recorder with sampling disabled.
+	Tracer *trace.Recorder
 }
 
 // Stats are cumulative counters for one router node.
@@ -120,12 +130,15 @@ type Router struct {
 
 	latency *metrics.Histogram
 
-	requests       metrics.Counter
-	badRequests    metrics.Counter
-	timeouts       metrics.Counter
-	defaultReplies metrics.Counter
-	redials        metrics.Counter
-	viewSwaps      metrics.Counter
+	registry *metrics.Registry
+	tracer   *trace.Recorder
+
+	requests       *metrics.Counter
+	badRequests    *metrics.Counter
+	timeouts       *metrics.Counter
+	defaultReplies *metrics.Counter
+	redials        *metrics.Counter
+	viewSwaps      *metrics.Counter
 	lastRemapBits  atomic.Uint64 // math.Float64bits of LastRemapFraction
 
 	wg sync.WaitGroup
@@ -201,13 +214,44 @@ func New(cfg Config) (*Router, error) {
 	if err != nil {
 		return nil, fmt.Errorf("router: listen %s: %w", cfg.Addr, err)
 	}
-	r := &Router{
-		cfg:     cfg,
-		ln:      ln,
-		picker:  picker,
-		logger:  logger,
-		latency: metrics.NewHistogram(),
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
 	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = trace.NewRecorder(trace.Config{})
+	}
+	if cfg.Transport.Stats == nil {
+		// Share one registry-backed counter set across every backend socket
+		// so /metrics aggregates the whole UDP client layer.
+		cfg.Transport.Stats = transport.NewStats(reg)
+	}
+	r := &Router{
+		cfg:            cfg,
+		ln:             ln,
+		picker:         picker,
+		logger:         logger,
+		latency:        metrics.NewHistogram(),
+		registry:       reg,
+		tracer:         tracer,
+		requests:       reg.Counter("janus_router_requests_total", "HTTP QoS requests handled"),
+		badRequests:    reg.Counter("janus_router_bad_requests_total", "malformed QoS queries rejected"),
+		timeouts:       reg.Counter("janus_router_timeouts_total", "backend exchanges that exhausted all retries"),
+		defaultReplies: reg.Counter("janus_router_default_replies_total", "responses fabricated by the router"),
+		redials:        reg.Counter("janus_router_redials_total", "backend reconnects after failure"),
+		viewSwaps:      reg.Counter("janus_router_view_swaps_total", "membership views adopted after the initial one"),
+	}
+	reg.RegisterHistogram("janus_router_latency_ns", "HTTP request latency in nanoseconds", r.latency)
+	reg.GaugeFunc("janus_router_view_epoch", "epoch of the view currently routing traffic", func() float64 {
+		return float64(r.state.Load().view.Epoch)
+	})
+	reg.GaugeFunc("janus_router_backends", "QoS server partitions in the current view", func() float64 {
+		return float64(len(r.state.Load().backends))
+	})
+	reg.GaugeFunc("janus_router_last_remap_fraction", "estimated key-space fraction remapped at the last view swap", func() float64 {
+		return math.Float64frombits(r.lastRemapBits.Load())
+	})
 	initial := membership.View{Epoch: 0, Backends: append([]string(nil), cfg.Backends...)}
 	r.state.Store(r.buildState(initial, nil))
 	mux := http.NewServeMux()
@@ -302,40 +346,91 @@ func (r *Router) handleQoS(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	resp := r.Route(qreq)
+	// A trace started upstream (the LB) arrives in the header; without one
+	// the router's own sampler may start a trace — one atomic load when
+	// sampling is disabled.
+	if id, perr := trace.ParseID(req.Header.Get(trace.Header)); perr == nil && id != 0 {
+		qreq.TraceID = id
+	} else if id, ok := r.tracer.Sample(); ok {
+		qreq.TraceID = id
+	}
+	resp, info := r.route(qreq)
 	r.requests.Inc()
-	r.latency.RecordDuration(time.Since(start))
+	d := time.Since(start)
+	r.latency.RecordDuration(d)
+	if qreq.TraceID != 0 {
+		spans := r.buildSpans(qreq, resp, info, start, d)
+		w.Header().Set(trace.SpanHeader, trace.EncodeSpans(spans))
+		r.tracer.Record(&trace.Trace{ID: trace.HexID(qreq.TraceID), Spans: spans})
+	}
 	w.Header().Set(wire.HTTPStatusHeader, resp.Status.String())
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, wire.FormatHTTPBody(resp.Allow))
 }
 
+// buildSpans assembles the router's span (with the retry count that
+// explains the 100 µs × 5 budget) plus the QoS server's worker span
+// reported in the response datagram.
+func (r *Router) buildSpans(qreq wire.Request, resp wire.Response, info routeInfo, start time.Time, d time.Duration) []trace.Span {
+	spans := make([]trace.Span, 0, 2)
+	spans = append(spans, trace.Span{
+		Hop:   "router",
+		Note:  fmt.Sprintf("backend=%s retries=%d status=%s", info.backend, max(info.attempts-1, 0), resp.Status),
+		Start: start.UnixNano(),
+		Dur:   int64(d),
+	})
+	if resp.TraceID == qreq.TraceID && resp.ServerNanos > 0 {
+		// The worker span's duration was measured on the server's clock;
+		// its start inherits the router's observation window.
+		spans = append(spans, trace.Span{
+			Hop:   "qosserver",
+			Note:  "status=" + resp.Status.String(),
+			Start: start.UnixNano(),
+			Dur:   resp.ServerNanos,
+		})
+	}
+	return spans
+}
+
+// routeInfo describes how one exchange went, for span annotation.
+type routeInfo struct {
+	backend  string
+	attempts int
+}
+
 // Route performs the backend selection and UDP exchange for one request.
 // It is exported for in-process deployments and the simulation harness.
 func (r *Router) Route(qreq wire.Request) wire.Response {
+	resp, _ := r.route(qreq)
+	return resp
+}
+
+func (r *Router) route(qreq wire.Request) (wire.Response, routeInfo) {
 	st := r.state.Load()
 	i, err := r.picker.Pick(qreq.Key, len(st.backends))
 	if err != nil {
 		// Unreachable in practice: New and UpdateView refuse empty views.
 		r.logger.Printf("router: pick for %q failed: %v", qreq.Key, err)
-		return r.defaultReply()
+		return r.defaultReply(), routeInfo{}
 	}
 	b := st.backends[i]
+	info := routeInfo{backend: b.name}
 	client, err := b.getClient()
 	if err != nil {
 		r.logger.Printf("router: backend %s unavailable: %v", b.name, err)
-		return r.defaultReply()
+		return r.defaultReply(), info
 	}
-	resp, err := client.Do(qreq)
+	resp, attempts, err := client.DoAttempts(qreq)
+	info.attempts = attempts
 	if err != nil {
 		r.timeouts.Inc()
 		// Drop the cached client so the next request re-resolves the
 		// backend name — after a DNS failover this lands on the new master.
 		b.invalidate()
 		r.redials.Inc()
-		return r.defaultReply()
+		return r.defaultReply(), info
 	}
-	return resp
+	return resp, info
 }
 
 func (r *Router) defaultReply() wire.Response {
@@ -359,6 +454,12 @@ func (r *Router) Stats() Stats {
 
 // Latency returns the HTTP-request latency histogram.
 func (r *Router) Latency() *metrics.Histogram { return r.latency }
+
+// Registry returns the metrics registry carrying the router's counters.
+func (r *Router) Registry() *metrics.Registry { return r.registry }
+
+// Tracer returns the router's trace recorder.
+func (r *Router) Tracer() *trace.Recorder { return r.tracer }
 
 // Close shuts down the router.
 func (r *Router) Close() error {

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
@@ -48,6 +49,38 @@ type Config struct {
 	// Delay, when non-nil, is invoked once per attempt and may sleep to
 	// model network latency (used by experiments; nil in production).
 	Delay func()
+	// Stats, when non-nil, shares attempt/timeout/response counters across
+	// every client built from this config — the router passes a
+	// registry-backed set so one /metrics page aggregates all its backend
+	// sockets. Nil gives the client private counters.
+	Stats *Stats
+}
+
+// Stats holds the transport counters. Build a registry-backed set with
+// NewStats to expose them on /metrics; the zero-value-free constructor
+// newPrivateStats backs a standalone client.
+type Stats struct {
+	// Attempts counts request datagrams sent, including retries.
+	Attempts *metrics.Counter
+	// Timeouts counts attempts that expired without a response.
+	Timeouts *metrics.Counter
+	// Responses counts response datagrams received and decoded.
+	Responses *metrics.Counter
+}
+
+// NewStats registers the transport counters on reg and returns the shared
+// set. Calling it twice with the same registry returns handles to the same
+// counters.
+func NewStats(reg *metrics.Registry) *Stats {
+	return &Stats{
+		Attempts:  reg.Counter("janus_transport_attempts_total", "UDP request datagrams sent, including retries"),
+		Timeouts:  reg.Counter("janus_transport_timeouts_total", "UDP attempts that expired without a response"),
+		Responses: reg.Counter("janus_transport_responses_total", "UDP response datagrams received and decoded"),
+	}
+}
+
+func newPrivateStats() *Stats {
+	return &Stats{Attempts: &metrics.Counter{}, Timeouts: &metrics.Counter{}, Responses: &metrics.Counter{}}
 }
 
 func (c Config) withDefaults() Config {
@@ -71,10 +104,8 @@ type Client struct {
 	waiters map[uint64]chan wire.Response
 	closed  bool
 
-	// stats
-	attempts  atomic.Int64
-	timeouts  atomic.Int64
-	responses atomic.Int64
+	// stats are private to the client unless Config.Stats shared a set.
+	stats *Stats
 }
 
 // Dial creates a client bound to the QoS server at addr ("host:port").
@@ -91,6 +122,10 @@ func Dial(addr string, cfg Config) (*Client, error) {
 		cfg:     cfg.withDefaults(),
 		conn:    conn,
 		waiters: make(map[uint64]chan wire.Response),
+		stats:   cfg.Stats,
+	}
+	if c.stats == nil {
+		c.stats = newPrivateStats()
 	}
 	go c.readLoop()
 	return c, nil
@@ -107,7 +142,7 @@ func (c *Client) readLoop() {
 		if err != nil {
 			continue // corrupt datagram; the sender will retry
 		}
-		c.responses.Add(1)
+		c.stats.Responses.Inc()
 		c.mu.Lock()
 		ch := c.waiters[resp.ID]
 		c.mu.Unlock()
@@ -124,16 +159,25 @@ func (c *Client) readLoop() {
 // configured discipline. On exhaustion it returns ErrTimeout — the caller
 // (the request router) then substitutes its default reply.
 func (c *Client) Do(req wire.Request) (wire.Response, error) {
+	resp, _, err := c.DoAttempts(req)
+	return resp, err
+}
+
+// DoAttempts is Do, additionally reporting how many attempts the exchange
+// took (1 = no retries). The router records the count in the request's
+// trace span — the paper's 100 µs × 5 budget is only explainable per
+// request with this number.
+func (c *Client) DoAttempts(req wire.Request) (wire.Response, int, error) {
 	req.ID = c.nextID.Add(1)
 	packet, err := wire.EncodeRequest(req)
 	if err != nil {
-		return wire.Response{}, err
+		return wire.Response{}, 0, err
 	}
 	ch := make(chan wire.Response, 1)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return wire.Response{}, net.ErrClosed
+		return wire.Response{}, 0, net.ErrClosed
 	}
 	c.waiters[req.ID] = ch
 	c.mu.Unlock()
@@ -149,9 +193,9 @@ func (c *Client) Do(req wire.Request) (wire.Response, error) {
 		if c.cfg.Delay != nil {
 			c.cfg.Delay()
 		}
-		c.attempts.Add(1)
+		c.stats.Attempts.Inc()
 		if _, err := c.conn.Write(packet); err != nil {
-			return wire.Response{}, fmt.Errorf("transport: send: %w", err)
+			return wire.Response{}, attempt + 1, fmt.Errorf("transport: send: %w", err)
 		}
 		if !timer.Stop() {
 			select {
@@ -162,17 +206,19 @@ func (c *Client) Do(req wire.Request) (wire.Response, error) {
 		timer.Reset(c.cfg.Timeout)
 		select {
 		case resp := <-ch:
-			return resp, nil
+			return resp, attempt + 1, nil
 		case <-timer.C:
-			c.timeouts.Add(1)
+			c.stats.Timeouts.Inc()
 		}
 	}
-	return wire.Response{}, ErrTimeout
+	return wire.Response{}, c.cfg.Retries, ErrTimeout
 }
 
-// Stats reports cumulative attempt/timeout/response counts.
+// Stats reports cumulative attempt/timeout/response counts. When
+// Config.Stats shared a counter set, the numbers aggregate every client on
+// that set.
 func (c *Client) Stats() (attempts, timeouts, responses int64) {
-	return c.attempts.Load(), c.timeouts.Load(), c.responses.Load()
+	return c.stats.Attempts.Value(), c.stats.Timeouts.Value(), c.stats.Responses.Value()
 }
 
 // Close releases the socket.

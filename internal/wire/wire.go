@@ -25,12 +25,21 @@
 //	16     4     cost (credits, fixed-point 1/1000)
 //	20     2     key length n
 //	22     n     key bytes
+//	22+n   8     trace id (only when flags & FlagTraced)
 //	-- response --
 //	16     1     verdict (0 deny, 1 allow)
 //	17     1     status
+//	18     8     trace id (only when flags & FlagTraced)
+//	26     4     server-side processing nanoseconds (only when traced)
 //
 // The cost field supports weighted admission (one API call may consume more
 // than one credit); the paper's default is cost 1.
+//
+// The trace fields are the protocol's first optional extension and set the
+// evolution pattern: new fields are appended after the existing payload and
+// gated by a flag bit, so decoders that predate the field skip it (the key
+// length / fixed response length bound what they read, and the CRC covers
+// the full datagram on both sides). See DESIGN.md §7.
 package wire
 
 import (
@@ -51,11 +60,18 @@ const (
 
 	requestHeaderLen  = 22
 	responseLen       = 18
+	responseTracedLen = responseLen + 12 // + trace id + server nanos
+	traceIDLen        = 8
 	costScale         = 1000
 	MaxKeyLen         = math.MaxUint16
 	MaxDatagram       = 64 * 1024
 	checksummedOffset = 16 // bytes [16:] are covered by the CRC
 )
+
+// FlagTraced marks a datagram carrying the optional trailing trace fields
+// (request: 8-byte trace ID after the key; response: 8-byte trace ID plus
+// 4-byte server-processing nanoseconds after the status byte).
+const FlagTraced = 1 << 0
 
 // Status codes carried in responses.
 type Status uint8
@@ -100,6 +116,9 @@ type Request struct {
 	Key string
 	// Cost is the number of credits this call consumes (default 1).
 	Cost float64
+	// TraceID, when non-zero, marks the request as sampled for tracing and
+	// rides the wire as an optional trailing field (internal/trace).
+	TraceID uint64
 }
 
 // Response is the boolean admission decision.
@@ -110,6 +129,12 @@ type Response struct {
 	Allow bool
 	// Status qualifies how the decision was produced.
 	Status Status
+	// TraceID echoes the request's trace ID for sampled requests.
+	TraceID uint64
+	// ServerNanos is the QoS server's worker-side processing time in
+	// nanoseconds, reported only on traced responses (capped at ~4.29 s by
+	// the 4-byte wire field).
+	ServerNanos int64
 }
 
 // Decode errors.
@@ -122,11 +147,11 @@ var (
 	ErrKeyTooLong  = errors.New("wire: key exceeds 65535 bytes")
 )
 
-func putHeader(buf []byte, typ byte, id uint64) {
+func putHeader(buf []byte, typ, flags byte, id uint64) {
 	buf[0] = Magic
 	buf[1] = Version
 	buf[2] = typ
-	buf[3] = 0
+	buf[3] = flags
 	binary.BigEndian.PutUint64(buf[4:], id)
 }
 
@@ -169,22 +194,30 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 	}
 	start := len(dst)
 	need := requestHeaderLen + len(req.Key)
+	var flags byte
+	if req.TraceID != 0 {
+		flags |= FlagTraced
+		need += traceIDLen
+	}
 	for cap(dst)-start < need {
 		dst = append(dst[:cap(dst)], 0)
 	}
 	dst = dst[:start+need]
 	buf := dst[start:]
-	putHeader(buf, typeRequest, req.ID)
+	putHeader(buf, typeRequest, flags, req.ID)
 	binary.BigEndian.PutUint32(buf[16:], uint32(scaled))
 	binary.BigEndian.PutUint16(buf[20:], uint16(len(req.Key)))
 	copy(buf[22:], req.Key)
+	if req.TraceID != 0 {
+		binary.BigEndian.PutUint64(buf[requestHeaderLen+len(req.Key):], req.TraceID)
+	}
 	seal(buf)
 	return dst, nil
 }
 
 // EncodeRequest encodes req into a fresh buffer.
 func EncodeRequest(req Request) ([]byte, error) {
-	return AppendRequest(make([]byte, 0, requestHeaderLen+len(req.Key)), req)
+	return AppendRequest(make([]byte, 0, requestHeaderLen+len(req.Key)+traceIDLen), req)
 }
 
 // DecodeRequest parses a binary request datagram.
@@ -199,35 +232,59 @@ func DecodeRequest(buf []byte) (Request, error) {
 	if len(buf) < requestHeaderLen+n {
 		return Request{}, ErrTruncated
 	}
-	return Request{
+	req := Request{
 		ID:   binary.BigEndian.Uint64(buf[4:]),
 		Cost: float64(binary.BigEndian.Uint32(buf[16:])) / costScale,
 		Key:  string(buf[22 : 22+n]),
-	}, nil
+	}
+	if buf[3]&FlagTraced != 0 {
+		if len(buf) < requestHeaderLen+n+traceIDLen {
+			return Request{}, ErrTruncated
+		}
+		req.TraceID = binary.BigEndian.Uint64(buf[requestHeaderLen+n:])
+	}
+	return req, nil
 }
 
 // AppendResponse appends the encoded response to dst.
 func AppendResponse(dst []byte, resp Response) []byte {
 	start := len(dst)
-	for cap(dst)-start < responseLen {
+	need := responseLen
+	var flags byte
+	if resp.TraceID != 0 {
+		flags |= FlagTraced
+		need = responseTracedLen
+	}
+	for cap(dst)-start < need {
 		dst = append(dst[:cap(dst)], 0)
 	}
-	dst = dst[:start+responseLen]
+	dst = dst[:start+need]
 	buf := dst[start:]
-	putHeader(buf, typeResponse, resp.ID)
+	putHeader(buf, typeResponse, flags, resp.ID)
 	if resp.Allow {
 		buf[16] = 1
 	} else {
 		buf[16] = 0
 	}
 	buf[17] = byte(resp.Status)
+	if resp.TraceID != 0 {
+		binary.BigEndian.PutUint64(buf[18:], resp.TraceID)
+		nanos := resp.ServerNanos
+		if nanos < 0 {
+			nanos = 0
+		}
+		if nanos > math.MaxUint32 {
+			nanos = math.MaxUint32
+		}
+		binary.BigEndian.PutUint32(buf[26:], uint32(nanos))
+	}
 	seal(buf)
 	return dst
 }
 
 // EncodeResponse encodes resp into a fresh buffer.
 func EncodeResponse(resp Response) []byte {
-	return AppendResponse(make([]byte, 0, responseLen), resp)
+	return AppendResponse(make([]byte, 0, responseTracedLen), resp)
 }
 
 // DecodeResponse parses a binary response datagram.
@@ -238,9 +295,17 @@ func DecodeResponse(buf []byte) (Response, error) {
 	if len(buf) < responseLen {
 		return Response{}, ErrTruncated
 	}
-	return Response{
+	resp := Response{
 		ID:     binary.BigEndian.Uint64(buf[4:]),
 		Allow:  buf[16] == 1,
 		Status: Status(buf[17]),
-	}, nil
+	}
+	if buf[3]&FlagTraced != 0 {
+		if len(buf) < responseTracedLen {
+			return Response{}, ErrTruncated
+		}
+		resp.TraceID = binary.BigEndian.Uint64(buf[18:])
+		resp.ServerNanos = int64(binary.BigEndian.Uint32(buf[26:]))
+	}
+	return resp, nil
 }
