@@ -1,17 +1,25 @@
 GO ?= go
 
-.PHONY: check build test vet lint lint-manifest race fuzz-smoke bench-membership bench-observability smoke-metrics
+# Seed for the chaos suite's probabilistic failpoints; a failing run
+# reproduces with the same seed.
+JANUS_CHAOS_SEED ?= 1
 
-# The full pre-merge gate: static checks, the janus-vet analyzer suite,
-# build, and the complete test suite under the race detector.
-check: vet lint build race
+.PHONY: check check-race build test vet lint lint-manifest race chaos chaos-long fuzz-smoke bench-membership bench-observability bench-failpoint smoke-metrics
+
+# The pre-merge gate: static checks, the janus-vet analyzer suite, build,
+# and the full test suite.
+check: vet lint build test
+
+# The same gate with the race detector on — slower, run by its own CI job.
+check-race: vet lint build race
 
 vet:
 	$(GO) vet ./...
 
 # janus-vet enforces the repo's own invariants: no wall clock in
 # simulation packages, lock/unlock discipline, frozen gob wire formats,
-# and no silently dropped transport errors. See internal/lint.
+# no silently dropped transport errors, and one code site per failpoint
+# name. See internal/lint.
 lint:
 	$(GO) run ./cmd/janus-vet ./...
 
@@ -30,6 +38,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The chaos suite: real clusters under injected loss/delay/partition,
+# asserting the four degradation invariants (see chaostest). Fixed seed,
+# short load budget — the pre-merge variant.
+chaos:
+	JANUS_CHAOS_SEED=$(JANUS_CHAOS_SEED) $(GO) test -race -count=1 ./chaostest/
+
+# Nightly variant: longer load phases and several seeds.
+chaos-long:
+	for seed in 1 2 3 4 5; do \
+		JANUS_CHAOS_SEED=$$seed JANUS_CHAOS_BUDGET=long $(GO) test -race -count=1 ./chaostest/ || exit 1; \
+	done
+
 # Short fuzzing passes over every fuzz target; enough to catch decode
 # panics and invariant breaks introduced by a wire or HA change.
 fuzz-smoke:
@@ -45,6 +65,11 @@ bench-membership:
 # the tracing gate at sampling rates 0 / 0.01 / 1.
 bench-observability:
 	$(GO) test -run '^$$' -bench Observability -benchtime 2s .
+
+# Regenerates the numbers recorded in BENCH_failpoint.json: the disarmed
+# gate must stay ≤ 1 ns/op or it cannot live on the UDP hot paths.
+bench-failpoint:
+	$(GO) test -run '^$$' -bench . -benchtime 2s ./internal/failpoint/
 
 # Boots the four-tier stack with -metrics-addr and asserts every daemon's
 # /metrics answers with janus_* series.

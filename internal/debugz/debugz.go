@@ -1,12 +1,13 @@
 // Package debugz is the shared observability endpoint every Janus daemon
 // mounts. One mux serves:
 //
-//	/metrics        Prometheus text exposition of the daemon's registry
-//	/debug/traces   JSON dump of the daemon's trace recorder
-//	/debug/<name>   JSON snapshot from a daemon-provided Section
-//	/debug/pprof/*  the standard net/http/pprof profiles
-//	/healthz        liveness probe ("ok")
-//	/               plain-text index of everything above
+//	/metrics           Prometheus text exposition of the daemon's registry
+//	/debug/traces      JSON dump of the daemon's trace recorder
+//	/debug/failpoints  fault-injection registry (list and arm; chaos harness)
+//	/debug/<name>      JSON snapshot from a daemon-provided Section
+//	/debug/pprof/*     the standard net/http/pprof profiles
+//	/healthz           liveness probe ("ok")
+//	/                  plain-text index of everything above
 //
 // The paper's evaluation (§V) reads throughput and latency out of each tier
 // separately; this package is how those numbers leave the process without
@@ -23,6 +24,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/failpoint"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 )
@@ -68,6 +70,10 @@ func Mux(opts Options) *http.ServeMux {
 		})
 		index = append(index, "/debug/traces — sampled request traces (recent + slowest)")
 	}
+	// The failpoint registry is process-global, so the endpoint needs no
+	// per-daemon state: every daemon that mounts debugz is chaos-controllable.
+	mux.Handle("/debug/failpoints", failpoint.Handler())
+	index = append(index, "/debug/failpoints — fault-injection registry (GET lists, POST arms)")
 	for _, s := range opts.Sections {
 		fn := s.Fn
 		mux.HandleFunc("/debug/"+s.Name, func(w http.ResponseWriter, r *http.Request) {

@@ -22,9 +22,15 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 )
+
+// fpProxyDial sits on the LB's exchange with a router back end (peer = back
+// end address). Failing it exercises the skip-and-retry path: the LB must
+// fail over to the next back end, and only 502 when every back end is cut.
+var fpProxyDial = failpoint.New("lb/proxy/dial")
 
 // Policy selects the back-end choice algorithm.
 type Policy string
@@ -324,6 +330,16 @@ func (l *LB) forward(w http.ResponseWriter, req *http.Request, b *backendState) 
 	b.outstanding.Add(1)
 	defer b.outstanding.Add(-1)
 	l.proxied.Inc()
+	if fpProxyDial.Armed() {
+		switch o := fpProxyDial.EvalPeer(b.addr); o.Kind {
+		case failpoint.Error, failpoint.Partition:
+			return "", o.Err
+		case failpoint.Drop:
+			return "", fmt.Errorf("lb: dial %s dropped by failpoint", b.addr)
+		case failpoint.Delay:
+			o.Sleep()
+		}
+	}
 	url := "http://" + b.addr + req.URL.RequestURI()
 	outReq, err := http.NewRequestWithContext(req.Context(), req.Method, url, req.Body)
 	if err != nil {

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// FailpointSite guards the failpoint registry's structural invariants
+// (internal/failpoint). The registry panics at runtime on a duplicate name,
+// but only when both sites' packages are linked into the same binary — a
+// duplicate across two daemons would never trip in tests while still
+// corrupting the chaos harness's mental model ("arming X affects exactly one
+// seam"). The analyzer proves the stronger property statically:
+//
+//   - every failpoint.New argument is a single quoted string literal, so
+//     the full set of failpoint names is greppable and the /debug/failpoints
+//     inventory is closed under static analysis;
+//   - every name follows the site convention: two or more slash-separated
+//     segments of [a-z0-9-] ("qosserver/ha/pull"), the first naming the
+//     component — chaos specs stay readable and sortable;
+//   - every name has exactly ONE code site module-wide, so arming a name
+//     perturbs one seam, not several;
+//   - every call initializes a package-level var, which is what makes
+//     registration one-time and the disarmed gate a single atomic load on a
+//     package singleton.
+type FailpointSite struct{}
+
+// Name implements Analyzer.
+func (FailpointSite) Name() string { return "failpointsite" }
+
+// Doc implements Analyzer.
+func (FailpointSite) Doc() string {
+	return "every failpoint name is a literal, well-formed, and registered at exactly one package-level site"
+}
+
+// Analyze implements Analyzer.
+func (a FailpointSite) Analyze(prog *Program) []Finding {
+	var out []Finding
+	seen := make(map[string]token.Position) // name -> first site
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			topLevel := a.packageLevelNewCalls(pkg, file)
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !a.isNewCall(pkg, file, call) {
+					return true
+				}
+				pos := prog.Fset.Position(call.Pos())
+				if !topLevel[call] {
+					out = append(out, Finding{
+						Analyzer: a.Name(),
+						Pos:      pos,
+						Message:  "failpoint.New must initialize a package-level var; in-function registration defeats one-time registration and the zero-cost disarmed gate",
+					})
+				}
+				if len(call.Args) != 1 {
+					return true // does not compile against the real API; nothing more to check
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					out = append(out, Finding{
+						Analyzer: a.Name(),
+						Pos:      pos,
+						Message:  "failpoint.New argument must be a quoted string literal so the site inventory is static",
+					})
+					return true
+				}
+				name, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				if !validFailpointName(name) {
+					out = append(out, Finding{
+						Analyzer: a.Name(),
+						Pos:      pos,
+						Message: fmt.Sprintf("failpoint name %q violates the site convention: want 2+ slash-separated segments of [a-z0-9-], e.g. \"qosserver/ha/pull\"",
+							name),
+					})
+				}
+				if prev, dup := seen[name]; dup {
+					out = append(out, Finding{
+						Analyzer: a.Name(),
+						Pos:      pos,
+						Message: fmt.Sprintf("failpoint name %q already registered at %s:%d; each name must have exactly one code site",
+							name, prev.Filename, prev.Line),
+					})
+				} else {
+					seen[name] = pos
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// packageLevelNewCalls collects the failpoint.New calls that appear as
+// package-level var initializers in file.
+func (a FailpointSite) packageLevelNewCalls(pkg *Package, file *ast.File) map[*ast.CallExpr]bool {
+	top := make(map[*ast.CallExpr]bool)
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				if call, ok := v.(*ast.CallExpr); ok && a.isNewCall(pkg, file, call) {
+					top[call] = true
+				}
+			}
+		}
+	}
+	return top
+}
+
+// isNewCall reports whether call is failpoint.New from the failpoint
+// package. Resolution prefers type information and degrades to the file's
+// import table (fixture packages load without a resolvable failpoint
+// import).
+func (FailpointSite) isNewCall(pkg *Package, file *ast.File, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "New" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	path := importedPath(pkg, file, id)
+	if path == "" {
+		// Type info may map the ident of a failed import to a non-package
+		// object; fall back to the import table directly.
+		for _, imp := range file.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			name := p
+			if i := strings.LastIndex(p, "/"); i >= 0 {
+				name = p[i+1:]
+			}
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			if name == id.Name {
+				path = p
+				break
+			}
+		}
+	}
+	return path == "repro/internal/failpoint" || strings.HasSuffix(path, "/internal/failpoint")
+}
+
+// validFailpointName checks the site naming convention.
+func validFailpointName(name string) bool {
+	segs := strings.Split(name, "/")
+	if len(segs) < 2 {
+		return false
+	}
+	for _, seg := range segs {
+		if seg == "" {
+			return false
+		}
+		for _, r := range seg {
+			if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '-' {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -16,11 +16,15 @@
 //     internal/wire must stay wire-compatible across versions: a reordered
 //     or retyped field is an invisible protocol break;
 //   - the UDP hot paths deliberately fire-and-forget, but a *discarded*
-//     error from Close/SetDeadline/Write hides real socket failures.
+//     error from Close/SetDeadline/Write hides real socket failures;
+//   - the fault-injection registry (internal/failpoint) is only trustworthy
+//     when each failpoint name maps to exactly one literal, package-level
+//     code site — a duplicated or dynamic name makes chaos specs lie about
+//     which seam they perturb.
 //
 // Each invariant gets a dedicated analyzer: simclock, lockdiscipline,
-// wirecompat, and errdrop. See their files for the precise rules and the
-// documented approximations.
+// wirecompat, errdrop, and failpointsite. See their files for the precise
+// rules and the documented approximations.
 //
 // # Suppressions
 //
@@ -78,6 +82,7 @@ func Analyzers(manifestPath string) []Analyzer {
 		LockDiscipline{},
 		WireCompat{ManifestPath: manifestPath},
 		ErrDrop{},
+		FailpointSite{},
 	}
 }
 

@@ -105,6 +105,47 @@ func TestErrDropOutOfScopePackageIsIgnored(t *testing.T) {
 	}
 }
 
+// TestFailpointSiteFixture loads the fixture with LoadDir directly rather
+// than loadFixture: the fixture's failpoint import cannot resolve from a
+// single-directory load, and tolerating the type errors is deliberate — it
+// exercises the analyzer's import-table fallback.
+func TestFailpointSiteFixture(t *testing.T) {
+	prog, err := LoadDir(filepath.Join("testdata", "src", "failpointbad"), "repro/internal/failpointbad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Run(prog, []Analyzer{FailpointSite{}})
+	if len(got) != 5 {
+		t.Errorf("want 5 failpointsite findings, got %d:\n%s", len(got), renderFindings(got))
+	}
+	wantFindingAt(t, got, 13, "already registered at")
+	wantFindingAt(t, got, 14, "violates the site convention")
+	wantFindingAt(t, got, 15, "violates the site convention")
+	wantFindingAt(t, got, 21, "must be a quoted string literal")
+	wantFindingAt(t, got, 21, "must initialize a package-level var")
+}
+
+func TestFailpointNameConvention(t *testing.T) {
+	for name, want := range map[string]bool{
+		"qosserver/ha/pull":           true,
+		"qosserver/handoff/apply":     true,
+		"qosserver/ha/apply-snapshot": true,
+		"transport/client/send":       true,
+		"a/b":                         true,
+		"single":                      false,
+		"Upper/case":                  false,
+		"trailing/":                   false,
+		"/leading":                    false,
+		"with space/x":                false,
+		"under_score/x":               false,
+		"":                            false,
+	} {
+		if got := validFailpointName(name); got != want {
+			t.Errorf("validFailpointName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
 // TestWireCompatTripsOnFieldReorder is the acceptance scenario: the golden
 // manifest is generated from the baseline fixture, and the analyzer must
 // trip on a copy with two fields deliberately reordered.

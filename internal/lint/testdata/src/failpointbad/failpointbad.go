@@ -1,0 +1,24 @@
+// Package failpointbad is the janus-vet fixture for the failpointsite
+// analyzer. The failpoint import cannot be resolved from a fixture load, so
+// the package does not fully type-check; the analyzer's import-table
+// fallback is exactly what this fixture exercises.
+package failpointbad
+
+import (
+	"repro/internal/failpoint"
+)
+
+var (
+	fpGood = failpoint.New("failpointbad/seam/good")    // ok: the one legal site
+	fpDup  = failpoint.New("failpointbad/seam/good")    // duplicate name
+	fpCase = failpoint.New("FailpointBad/Seam")         // uppercase violates the convention
+	fpOne  = failpoint.New("singlesegment")             // too few segments
+	_      = failpoint.New("failpointbad/seam/discard") // ok: blank var is still package-level
+)
+
+func inFunction() {
+	name := "failpointbad/seam/dynamic"
+	_ = failpoint.New(name) // non-literal name
+}
+
+var _ = []any{fpGood, fpDup, fpCase, fpOne}

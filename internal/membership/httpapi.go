@@ -10,6 +10,17 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/failpoint"
+)
+
+// Failpoints on the client side of the coordinator API (peer = coordinator
+// endpoint). Cutting heartbeats gets a member TTL-ejected; cutting view
+// fetches freezes a router or beater at its last adopted epoch — the
+// coordinator-partition scenario of the chaos suite.
+var (
+	fpHeartbeatSend = failpoint.New("membership/heartbeat/send")
+	fpViewFetch     = failpoint.New("membership/view/fetch")
 )
 
 // HTTP endpoints served by a coordinator Service and spoken by Client.
@@ -119,6 +130,16 @@ func (cl *Client) http() *http.Client {
 
 // FetchView retrieves the coordinator's current view.
 func (cl *Client) FetchView() (View, error) {
+	if fpViewFetch.Armed() {
+		switch o := fpViewFetch.EvalPeer(cl.Endpoint); o.Kind {
+		case failpoint.Error, failpoint.Partition:
+			return View{}, o.Err
+		case failpoint.Drop:
+			return View{}, fmt.Errorf("membership: view fetch from %s dropped by failpoint", cl.Endpoint)
+		case failpoint.Delay:
+			o.Sleep()
+		}
+	}
 	resp, err := cl.http().Get("http://" + cl.Endpoint + ViewPath)
 	if err != nil {
 		return View{}, err
@@ -130,6 +151,16 @@ func (cl *Client) FetchView() (View, error) {
 // Heartbeat sends one heartbeat for member name (registering it on first
 // contact) and returns the coordinator's resulting view.
 func (cl *Client) Heartbeat(name, addr string) (View, error) {
+	if fpHeartbeatSend.Armed() {
+		switch o := fpHeartbeatSend.EvalPeer(cl.Endpoint); o.Kind {
+		case failpoint.Error, failpoint.Partition:
+			return View{}, o.Err
+		case failpoint.Drop:
+			return View{}, fmt.Errorf("membership: heartbeat to %s dropped by failpoint", cl.Endpoint)
+		case failpoint.Delay:
+			o.Sleep()
+		}
+	}
 	q := url.Values{"name": {name}}
 	if addr != "" {
 		q.Set("addr", addr)

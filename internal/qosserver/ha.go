@@ -10,6 +10,17 @@ import (
 	"time"
 
 	"repro/internal/bucket"
+	"repro/internal/failpoint"
+)
+
+// Failpoints on the replication seams. Pull sits on the slave's dial to the
+// master (peer = master address), so a partition action severs replication
+// without touching the UDP data path; apply-snapshot sits between a decoded
+// snapshot and the table, so a drop action freezes the slave at stale state
+// while pulls keep "succeeding" — the stale-checkpoint failover scenario.
+var (
+	fpHAPull          = failpoint.New("qosserver/ha/pull")
+	fpHAApplySnapshot = failpoint.New("qosserver/ha/apply-snapshot")
 )
 
 // High availability (paper §III-C): "When high-availability is desired, an
@@ -153,6 +164,14 @@ func (s *Server) snapshotTable() []haEntry {
 
 // applySnapshot installs a replicated table into this (slave) server.
 func (s *Server) applySnapshot(entries []haEntry) {
+	if fpHAApplySnapshot.Armed() {
+		switch o := fpHAApplySnapshot.Eval(); o.Kind {
+		case failpoint.Drop, failpoint.Error, failpoint.Partition:
+			return // snapshot decoded but never installed: the slave goes stale
+		case failpoint.Delay:
+			o.Sleep()
+		}
+	}
 	now := s.clock()
 	for _, e := range entries {
 		// Same defensive check as applyHandoff: snapshots cross the network
@@ -233,6 +252,16 @@ func (r *Replicator) loop() {
 
 // PullOnce performs a single replication pull.
 func (r *Replicator) PullOnce() error {
+	if fpHAPull.Armed() {
+		switch o := fpHAPull.EvalPeer(r.master); o.Kind {
+		case failpoint.Error, failpoint.Partition:
+			return o.Err
+		case failpoint.Drop:
+			return fmt.Errorf("qosserver: ha pull to %s dropped by failpoint", r.master)
+		case failpoint.Delay:
+			o.Sleep()
+		}
+	}
 	conn, err := net.DialTimeout("tcp", r.master, 2*time.Second)
 	if err != nil {
 		return err

@@ -7,6 +7,18 @@ import (
 	"time"
 
 	"repro/internal/bucket"
+	"repro/internal/failpoint"
+)
+
+// Failpoints on the handoff seams. Push (peer = destination handoff
+// address) fails the export before any bytes move, leaving entries in the
+// source table — the paper's "new owner falls back to the database"
+// degradation. Apply corrupts the import side: drop loses a delivered batch
+// after the ack, dup applies it twice — both must leave the min-merge
+// invariant (credit never inflates) intact.
+var (
+	fpHandoffPush  = failpoint.New("qosserver/handoff/push")
+	fpHandoffApply = failpoint.New("qosserver/handoff/apply")
 )
 
 // Bucket-state handoff for membership changes.
@@ -72,6 +84,16 @@ func (s *Server) Rebalance(owner func(key string) string) (int, error) {
 // pushHandoff delivers one batch of entries to the replication listener at
 // addr and waits for the ack.
 func pushHandoff(addr string, entries []haEntry) error {
+	if fpHandoffPush.Armed() {
+		switch o := fpHandoffPush.EvalPeer(addr); o.Kind {
+		case failpoint.Error, failpoint.Partition:
+			return o.Err
+		case failpoint.Drop:
+			return fmt.Errorf("handoff to %s dropped by failpoint", addr)
+		case failpoint.Delay:
+			o.Sleep()
+		}
+	}
 	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
 	if err != nil {
 		return err
@@ -95,6 +117,23 @@ func pushHandoff(addr string, entries []haEntry) error {
 // applyHandoff installs handed-off entries with min-merge semantics; see
 // the package comment above for why credit only ever moves down.
 func (s *Server) applyHandoff(entries []haEntry) {
+	passes := 1
+	if fpHandoffApply.Armed() {
+		switch o := fpHandoffApply.Eval(); o.Kind {
+		case failpoint.Drop, failpoint.Error, failpoint.Partition:
+			return // batch acked but never installed
+		case failpoint.Dup:
+			passes = 2 // duplicate delivery: min-merge must make this a no-op
+		case failpoint.Delay:
+			o.Sleep()
+		}
+	}
+	for ; passes > 0; passes-- {
+		s.applyHandoffEntries(entries)
+	}
+}
+
+func (s *Server) applyHandoffEntries(entries []haEntry) {
 	now := s.clock()
 	for _, e := range entries {
 		// Frames arrive over the network; a corrupt or malicious peer must

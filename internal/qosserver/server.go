@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/bucket"
+	"repro/internal/failpoint"
 	"repro/internal/metrics"
 	"repro/internal/store"
 	"repro/internal/table"
@@ -246,6 +247,11 @@ func (s *Server) ReplicationAddr() string {
 	return s.ha.Addr()
 }
 
+// fpUDPRecv models inbound packet loss on the server's UDP socket: a
+// dropped datagram is invisible to received/dropped counters, exactly like
+// loss on the wire, and is recovered (or not) by the router's retries.
+var fpUDPRecv = failpoint.New("qosserver/udp/recv")
+
 // listen is the UDP listener thread: it receives packets and pushes them
 // into the FIFO. A full FIFO drops the packet — the router's retry covers
 // the loss, exactly the failure mode the paper's UDP discipline anticipates.
@@ -256,6 +262,14 @@ func (s *Server) listen() {
 		n, raddr, err := s.conn.ReadFromUDP(buf)
 		if err != nil {
 			return // socket closed
+		}
+		if fpUDPRecv.Armed() {
+			switch o := fpUDPRecv.EvalPeer(raddr.String()); o.Kind {
+			case failpoint.Drop, failpoint.Partition:
+				continue
+			case failpoint.Delay:
+				o.Sleep()
+			}
 		}
 		s.received.Inc()
 		select {

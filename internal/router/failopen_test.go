@@ -1,0 +1,71 @@
+package router
+
+// Fail-open vs fail-closed default replies, driven through the
+// router/backend/send failpoint so retry exhaustion costs no wall-clock
+// waiting, with the mode label on janus_router_default_replies_total
+// asserted in the /metrics exposition.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bucket"
+	"repro/internal/failpoint"
+	"repro/internal/wire"
+)
+
+func TestDefaultReplyModes(t *testing.T) {
+	for _, tc := range []struct {
+		name         string
+		defaultReply bool
+		wantAllow    bool
+		wantSeries   string
+	}{
+		{"fail-closed", false, false, `janus_router_default_replies_total{mode="fail_closed"}`},
+		{"fail-open", true, true, `janus_router_default_replies_total{mode="fail_open"}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// A healthy backend that would admit the key: any deny below is
+			// fabricated by the router, not decided by a bucket.
+			qs := newBackend(t, bucket.Rule{Key: "k", RefillRate: 1000, Capacity: 1000, Credit: 1000})
+			r := newRouter(t, Config{Backends: []string{qs.Addr()}, DefaultReply: tc.defaultReply})
+
+			// Sanity: the real verdict flows through while the seam is whole.
+			if ok, status := httpCheck(t, r, "k"); !ok || status != wire.StatusOK {
+				t.Fatalf("pre-fault: ok=%v status=%v", ok, status)
+			}
+
+			t.Cleanup(failpoint.DisarmAll)
+			if err := failpoint.Arm("router/backend/send", failpoint.Action{Kind: failpoint.Error}); err != nil {
+				t.Fatal(err)
+			}
+			const requests = 5
+			for i := 0; i < requests; i++ {
+				ok, status := httpCheck(t, r, "k")
+				if status != wire.StatusDefaultReply {
+					t.Fatalf("request %d: status %v, want %v", i, status, wire.StatusDefaultReply)
+				}
+				if ok != tc.wantAllow {
+					t.Fatalf("request %d: verdict %v, want %v (%s)", i, ok, tc.wantAllow, tc.name)
+				}
+			}
+			if got := r.Stats().DefaultReplies; got != requests {
+				t.Fatalf("DefaultReplies = %d, want %d", got, requests)
+			}
+
+			// The mode rides the metric as a label, so fleet dashboards can
+			// tell fabricated admits from fabricated denies.
+			var b strings.Builder
+			r.Registry().WriteProm(&b)
+			if !strings.Contains(b.String(), tc.wantSeries+" 5") {
+				t.Errorf("metrics exposition missing %q with value 5:\n%s", tc.wantSeries, b.String())
+			}
+
+			// Disarmed, the real verdict returns immediately.
+			failpoint.DisarmAll()
+			if ok, status := httpCheck(t, r, "k"); !ok || status != wire.StatusOK {
+				t.Fatalf("post-fault: ok=%v status=%v", ok, status)
+			}
+		})
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/membership"
 	"repro/internal/metrics"
 	"repro/internal/trace"
@@ -47,6 +48,12 @@ import (
 // is attempted with zero backends (n == 0), instead of the divide-by-zero
 // panic the raw modulo would hit.
 var ErrNoBackends = membership.ErrNoBackends
+
+// fpBackendSend sits in front of the UDP exchange with a QoS server. A
+// partition action keyed on the backend name isolates individual backends;
+// drop/error force the retry-exhaustion → default-reply path without
+// waiting out real timeouts.
+var fpBackendSend = failpoint.New("router/backend/send")
 
 // SelectBackend returns the index of the QoS server responsible for key
 // among n servers — the paper's CRC32-mod routing function. It returns
@@ -227,6 +234,14 @@ func New(cfg Config) (*Router, error) {
 		// so /metrics aggregates the whole UDP client layer.
 		cfg.Transport.Stats = transport.NewStats(reg)
 	}
+	// The default-reply counter is labelled with the router's failure
+	// posture: fail_open routers fabricate admits on backend loss, stealing
+	// capacity, while fail_closed routers deny. The label makes the two
+	// regimes separable in aggregated dashboards.
+	mode := "fail_closed"
+	if cfg.DefaultReply {
+		mode = "fail_open"
+	}
 	r := &Router{
 		cfg:            cfg,
 		ln:             ln,
@@ -238,7 +253,7 @@ func New(cfg Config) (*Router, error) {
 		requests:       reg.Counter("janus_router_requests_total", "HTTP QoS requests handled"),
 		badRequests:    reg.Counter("janus_router_bad_requests_total", "malformed QoS queries rejected"),
 		timeouts:       reg.Counter("janus_router_timeouts_total", "backend exchanges that exhausted all retries"),
-		defaultReplies: reg.Counter("janus_router_default_replies_total", "responses fabricated by the router"),
+		defaultReplies: reg.Counter("janus_router_default_replies_total", "responses fabricated by the router", metrics.Label{Key: "mode", Value: mode}),
 		redials:        reg.Counter("janus_router_redials_total", "backend reconnects after failure"),
 		viewSwaps:      reg.Counter("janus_router_view_swaps_total", "membership views adopted after the initial one"),
 	}
@@ -415,6 +430,18 @@ func (r *Router) route(qreq wire.Request) (wire.Response, routeInfo) {
 	}
 	b := st.backends[i]
 	info := routeInfo{backend: b.name}
+	if fpBackendSend.Armed() {
+		switch o := fpBackendSend.EvalPeer(b.name); o.Kind {
+		case failpoint.Drop, failpoint.Error, failpoint.Partition:
+			// The backend is unreachable as far as this request is
+			// concerned; take the same path a real retry exhaustion takes,
+			// minus the wall-clock wait.
+			r.timeouts.Inc()
+			return r.defaultReply(), info
+		case failpoint.Delay:
+			o.Sleep()
+		}
+	}
 	client, err := b.getClient()
 	if err != nil {
 		r.logger.Printf("router: backend %s unavailable: %v", b.name, err)

@@ -23,8 +23,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/metrics"
 	"repro/internal/wire"
+)
+
+// Fault-injection sites on the UDP hot paths (see internal/failpoint and
+// the chaos suite). Disarmed cost is one atomic load per operation.
+var (
+	fpClientSend = failpoint.New("transport/client/send")
+	fpClientRecv = failpoint.New("transport/client/recv")
+	fpServerRecv = failpoint.New("transport/server/recv")
 )
 
 // Defaults from the paper (§III-B).
@@ -98,6 +107,7 @@ func (c Config) withDefaults() Config {
 type Client struct {
 	cfg    Config
 	conn   *net.UDPConn
+	raddr  string // resolved peer address, the partition-failpoint key
 	nextID atomic.Uint64
 
 	mu      sync.Mutex
@@ -121,6 +131,7 @@ func Dial(addr string, cfg Config) (*Client, error) {
 	c := &Client{
 		cfg:     cfg.withDefaults(),
 		conn:    conn,
+		raddr:   raddr.String(),
 		waiters: make(map[uint64]chan wire.Response),
 		stats:   cfg.Stats,
 	}
@@ -141,6 +152,14 @@ func (c *Client) readLoop() {
 		resp, err := wire.DecodeResponse(buf[:n])
 		if err != nil {
 			continue // corrupt datagram; the sender will retry
+		}
+		if fpClientRecv.Armed() {
+			switch o := fpClientRecv.EvalPeer(c.raddr); o.Kind {
+			case failpoint.Drop, failpoint.Partition:
+				continue // response lost on the wire
+			case failpoint.Delay:
+				o.Sleep()
+			}
 		}
 		c.stats.Responses.Inc()
 		c.mu.Lock()
@@ -187,15 +206,50 @@ func (c *Client) DoAttempts(req wire.Request) (wire.Response, int, error) {
 		c.mu.Unlock()
 	}()
 
+	// The whole exchange runs against one budget of Retries × Timeout,
+	// fixed before the first attempt. Each attempt waits at most Timeout,
+	// and anything that stalls the send side (scheduling, injected delay
+	// failpoints, a slow Config.Delay hook) eats into the budget instead of
+	// extending it — so 5 retries can never take much more than ~5× the
+	// per-try timeout, which is the latency bound the router's default
+	// reply promises (§III-B).
+	deadline := time.Now().Add(time.Duration(c.cfg.Retries) * c.cfg.Timeout)
 	timer := time.NewTimer(c.cfg.Timeout)
 	defer timer.Stop()
+	attempts := 0
 	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
+		attempts = attempt + 1
 		if c.cfg.Delay != nil {
 			c.cfg.Delay()
 		}
-		c.stats.Attempts.Inc()
-		if _, err := c.conn.Write(packet); err != nil {
-			return wire.Response{}, attempt + 1, fmt.Errorf("transport: send: %w", err)
+		sends := 1
+		if fpClientSend.Armed() {
+			switch o := fpClientSend.EvalPeer(c.raddr); o.Kind {
+			case failpoint.Drop, failpoint.Partition:
+				sends = 0 // request lost on the wire; still wait and retry
+			case failpoint.Delay:
+				o.Sleep()
+			case failpoint.Error:
+				return wire.Response{}, attempts, o.Err
+			case failpoint.Dup:
+				sends = 2
+			}
+		}
+		for i := 0; i < sends; i++ {
+			c.stats.Attempts.Inc()
+			if _, err := c.conn.Write(packet); err != nil {
+				return wire.Response{}, attempts, fmt.Errorf("transport: send: %w", err)
+			}
+		}
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			// Budget exhausted before this attempt could wait: count the
+			// timeout and stop retrying rather than overrun the bound.
+			c.stats.Timeouts.Inc()
+			break
+		}
+		if wait > c.cfg.Timeout {
+			wait = c.cfg.Timeout
 		}
 		if !timer.Stop() {
 			select {
@@ -203,15 +257,15 @@ func (c *Client) DoAttempts(req wire.Request) (wire.Response, int, error) {
 			default:
 			}
 		}
-		timer.Reset(c.cfg.Timeout)
+		timer.Reset(wait)
 		select {
 		case resp := <-ch:
-			return resp, attempt + 1, nil
+			return resp, attempts, nil
 		case <-timer.C:
 			c.stats.Timeouts.Inc()
 		}
 	}
-	return wire.Response{}, c.cfg.Retries, ErrTimeout
+	return wire.Response{}, attempts, ErrTimeout
 }
 
 // Stats reports cumulative attempt/timeout/response counts. When
@@ -283,6 +337,14 @@ func (s *Server) serve() {
 		}
 		if d := s.dropEvery.Load(); d > 0 && s.seen.Add(1)%d == 0 {
 			continue
+		}
+		if fpServerRecv.Armed() {
+			switch o := fpServerRecv.EvalPeer(raddr.String()); o.Kind {
+			case failpoint.Drop, failpoint.Partition:
+				continue // request lost before the handler saw it
+			case failpoint.Delay:
+				o.Sleep()
+			}
 		}
 		req, err := wire.DecodeRequest(buf[:n])
 		if err != nil {

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/wire"
 )
 
@@ -119,6 +120,49 @@ func TestTimeoutAfterAllRetries(t *testing.T) {
 	attempts, timeouts, _ := c.Stats()
 	if attempts != 3 || timeouts != 3 {
 		t.Fatalf("attempts=%d timeouts=%d, want 3/3", attempts, timeouts)
+	}
+}
+
+// TestRetryBudgetBoundsTotalLatency is the regression test for the retry
+// budget: the total time Do may spend is Retries × Timeout, fixed when the
+// exchange starts. Before the fix each attempt took a full fresh Timeout
+// AFTER any per-attempt stall, so a slow send path (here a 5 ms injected
+// delay) inflated the worst case to Retries × (Timeout + stall) — 35 ms
+// here instead of the ~10 ms budget. The caller of Do is the router's
+// request path; its latency bound is the whole point of the 100 µs × 5
+// discipline (§III-B).
+func TestRetryBudgetBoundsTotalLatency(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetDropEvery(1) // server never answers: every attempt must time out
+	c, err := Dial(srv.Addr(), Config{Timeout: 2 * time.Millisecond, Retries: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	defer failpoint.DisarmAll()
+	if err := failpoint.Arm("transport/client/send", failpoint.Action{
+		Kind: failpoint.Delay, Delay: 5 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, attempts, derr := c.DoAttempts(wire.Request{Key: "alice", Cost: 1})
+	el := time.Since(start)
+	if !errors.Is(derr, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", derr)
+	}
+	// Budget is 10 ms; the last attempt may overshoot by its stall plus one
+	// per-try timeout, so allow 2.5× for scheduling noise. The buggy
+	// behaviour needs ≥ 35 ms of real sleeps and cannot pass.
+	if el >= 25*time.Millisecond {
+		t.Fatalf("Do took %v, want < 25ms (budget 10ms)", el)
+	}
+	if attempts >= 5 {
+		t.Fatalf("attempts = %d, want < 5 (stalled attempts consume budget)", attempts)
 	}
 }
 
