@@ -4,7 +4,7 @@ GO ?= go
 # reproduces with the same seed.
 JANUS_CHAOS_SEED ?= 1
 
-.PHONY: check check-race build test vet lint lint-manifest race chaos chaos-long fuzz-smoke bench-membership bench-observability bench-failpoint smoke-metrics
+.PHONY: check check-race build test vet lint lint-manifest race chaos chaos-long fuzz-smoke bench-membership bench-observability bench-failpoint bench-batching smoke-metrics
 
 # The pre-merge gate: static checks, the janus-vet analyzer suite, build,
 # and the full test suite.
@@ -55,6 +55,7 @@ chaos-long:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeRequest -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeResponse -fuzztime 10s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzBatchFrameDecode -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzHAFrameDecode -fuzztime 10s ./internal/qosserver/
 
 # Regenerates the numbers recorded in BENCH_membership.json.
@@ -70,6 +71,12 @@ bench-observability:
 # gate must stay ≤ 1 ns/op or it cannot live on the UDP hot paths.
 bench-failpoint:
 	$(GO) test -run '^$$' -bench . -benchtime 2s ./internal/failpoint/
+
+# Regenerates the numbers recorded in BENCH_batching.json: 64-way fan-in
+# with the coalescer off vs on. Acceptance: ≥ 2× decisions/sec with p99
+# raised by no more than MaxLinger.
+bench-batching:
+	$(GO) test -run '^$$' -bench BatchingFanIn -benchtime 2s .
 
 # Boots the four-tier stack with -metrics-addr and asserts every daemon's
 # /metrics answers with janus_* series.

@@ -1,0 +1,75 @@
+package repro
+
+// Benchmarks for the batched wire protocol (DESIGN.md §10): 64 concurrent
+// clients hammering one router→QoS hop, with the fan-in coalescer off
+// (one datagram per request, the pre-PR-5 discipline) and on. Acceptance:
+// batching must at least double decisions/sec while raising p99 latency by
+// no more than MaxLinger. Run with
+//
+//	make bench-batching
+//
+// and record the results in BENCH_batching.json.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func BenchmarkBatchingFanIn(b *testing.B) {
+	for _, maxBatch := range []int{0, 8, 32} {
+		name := "unbatched"
+		if maxBatch > 1 {
+			name = fmt.Sprintf("batched-%d", maxBatch)
+		}
+		b.Run(name, func(b *testing.B) {
+			srv := newBenchServer(b)
+			sizes := metrics.NewHistogram()
+			c, err := transport.Dial(srv.Addr(), transport.Config{
+				Timeout:    100 * time.Millisecond,
+				Retries:    5,
+				MaxBatch:   maxBatch,
+				MaxLinger:  transport.DefaultMaxLinger,
+				BatchSizes: sizes,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			// Warm the socket and the server's bucket.
+			if _, err := c.Do(wire.Request{Key: "bench-key", Cost: 1}); err != nil {
+				b.Fatal(err)
+			}
+			lat := metrics.NewHistogram()
+			// 64 concurrent clients per GOMAXPROCS — the fan-in the
+			// coalescer exists to amortize.
+			b.SetParallelism(64)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					t0 := time.Now()
+					resp, err := c.Do(wire.Request{Key: "bench-key", Cost: 1})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if !resp.Allow {
+						b.Error("bench request denied")
+						return
+					}
+					lat.RecordDuration(time.Since(t0))
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(lat.Quantile(0.99)), "p99-ns")
+			b.ReportMetric(float64(lat.Quantile(0.5)), "p50-ns")
+			if maxBatch > 1 && sizes.Count() > 0 {
+				b.ReportMetric(sizes.Mean(), "entries/datagram")
+			}
+		})
+	}
+}

@@ -1,0 +1,139 @@
+package chaostest
+
+// Invariant 5 — batching never inflates admission: the fan-in coalescer
+// (PR 5, DESIGN.md §10) merges concurrent router→QoS requests into one
+// datagram, and no interleaving of 20% receive loss, duplicated sends, and
+// partial-batch drops (a flush truncated to its head half mid-flight) may
+// mint credit. Every entry of every batch — original, duplicated, or
+// retried after its tail was cut off — still lands on the same leaky
+// buckets, so aggregate server-side admissions stay within the K·C initial
+// credit plus r·t refill, exactly as for the unbatched protocol.
+//
+// This invariant needs server-side counters, so it runs the in-process
+// cluster harness; the failpoint registry is process-global, so one Arm
+// covers every client and server in the cluster.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bucket"
+	"repro/internal/cluster"
+	"repro/internal/failpoint"
+	"repro/internal/transport"
+)
+
+func TestInvariantBatchNeverInflatesAdmission(t *testing.T) {
+	const (
+		numKeys  = 8
+		capacity = 10.0
+		rate     = 50.0 // per key per second
+	)
+	keys := make([]string, numKeys)
+	rules := make([]bucket.Rule, numKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("batch-k%d", i)
+		rules[i] = bucket.Rule{Key: keys[i], RefillRate: rate, Capacity: capacity, Credit: capacity}
+	}
+
+	c, err := cluster.New(cluster.Config{
+		Routers:    1,
+		QoSServers: 2,
+		Mode:       cluster.Gateway,
+		Transport: transport.Config{
+			Timeout:  10 * time.Millisecond,
+			Retries:  3,
+			MaxBatch: 16, // coalescing ON: the invariant under test
+		},
+		Rules: rules,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	t.Cleanup(failpoint.DisarmAll) // LIFO: disarm before teardown
+
+	start := time.Now()
+
+	// Prewarm every bucket so the K·C initial credit is on the books from
+	// `start` and the coalescers' sockets are hot before the faults begin.
+	for _, key := range keys {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if _, err := c.Check(key); err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("prewarm %s never succeeded", key)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// The fault cocktail, all seeded for replay: 20% loss on the servers'
+	// receive path, every fourth-ish flush truncated to its head half
+	// (partial-batch drop), and 20% of attempts duplicated — a duplicated
+	// first attempt re-enqueues the same ID, which the coalescer must defer
+	// to a separate frame (one frame never carries an ID twice).
+	for _, arm := range []struct {
+		site string
+		act  failpoint.Action
+	}{
+		{"qosserver/udp/recv", failpoint.Action{Kind: failpoint.Drop, P: 0.2, Seed: chaosSeed}},
+		{"transport/client/batch", failpoint.Action{Kind: failpoint.Drop, P: 0.25, Seed: chaosSeed + 1}},
+		{"transport/client/send", failpoint.Action{Kind: failpoint.Dup, P: 0.2, Seed: chaosSeed + 2}},
+	} {
+		if err := failpoint.Arm(arm.site, arm.act); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Hammer the stack from 4 concurrent clients — enough fan-in for real
+	// multi-entry batches through the single router's coalescers.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; !stop.Load(); i++ {
+				c.Check(keys[i%numKeys]) // denials and router defaults are expected
+			}
+		}(g)
+	}
+	time.Sleep(loadDuration(1200 * time.Millisecond))
+	stop.Store(true)
+	wg.Wait()
+
+	failpoint.DisarmAll()
+	for _, site := range []string{"qosserver/udp/recv", "transport/client/batch", "transport/client/send"} {
+		fp := failpoint.Lookup(site)
+		if fp == nil || fp.Hits() == 0 {
+			t.Fatalf("failpoint %s never fired — the fault was not engaged", site)
+		}
+	}
+
+	// Sum admissions across the servers, then take elapsed: sampling time
+	// after counting makes the refill bound conservative.
+	var allowed int64
+	for _, p := range c.QoS {
+		allowed += p.Master.Stats().Allowed
+	}
+	elapsed := time.Since(start)
+
+	bound := numKeys*capacity + numKeys*rate*elapsed.Seconds()
+	if float64(allowed) > bound {
+		t.Errorf("aggregate admissions %d exceed C+r·t bound %.1f over %v — batching minted credit",
+			allowed, bound, elapsed)
+	}
+
+	// Liveness floor: loss, dup'd sends, and half-dropped batches must not
+	// have wedged admission either — at least the initial credit mostly
+	// cleared.
+	if float64(allowed) < numKeys*capacity/2 {
+		t.Errorf("aggregate admissions %d < %.0f — cluster wedged under batch faults", allowed, numKeys*capacity/2)
+	}
+}

@@ -1,0 +1,135 @@
+package qosserver
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/bucket"
+	"repro/internal/wire"
+)
+
+// TestPropertyBatchedDecisionsEquivalent is the decision-equivalence
+// property behind the batched protocol: batching is a TRANSPORT
+// optimization, never a semantic one. For any request stream, any chopping
+// of it into batches, and any clock schedule, submitting the batches
+// through DecideBatch must produce exactly the per-request verdicts — and
+// therefore exactly the per-key admitted credit — that sequential Decide
+// calls produce at the same evaluation times. Leaky-bucket state is pure
+// float arithmetic over the per-key (time, cost) subsequence, so the
+// comparison is exact equality, no tolerance.
+func TestPropertyBatchedDecisionsEquivalent(t *testing.T) {
+	const trials = 8
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("seed=%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(42 + trial)))
+
+			// Random rule set: mixed refill regimes, including zero-refill
+			// (pure quota) and fast-refill buckets, plus keys left to the
+			// default rule.
+			const numKeys = 6
+			var rules []bucket.Rule
+			keys := make([]string, 0, numKeys+1)
+			for i := 0; i < numKeys; i++ {
+				key := fmt.Sprintf("key-%d", i)
+				keys = append(keys, key)
+				cap := float64(1 + rng.Intn(20))
+				rates := []float64{0, 1, 5, 50}
+				rules = append(rules, bucket.Rule{
+					Key: key, Capacity: cap, Credit: cap,
+					RefillRate: rates[rng.Intn(len(rates))],
+				})
+			}
+			keys = append(keys, "unknown-key") // served by the default rule
+
+			// Random request stream over those keys.
+			const numReqs = 400
+			reqs := make([]wire.Request, numReqs)
+			for i := range reqs {
+				reqs[i] = wire.Request{
+					ID:   uint64(i + 1),
+					Key:  keys[rng.Intn(len(keys))],
+					Cost: float64(1+rng.Intn(3000)) / 1000, // (0, 3]
+				}
+			}
+
+			// Random chopping into batches of 1..8 entries, and a clock
+			// schedule: every request in a batch is evaluated at the batch's
+			// arrival time, and the clock advances a random step between
+			// batches (sometimes zero — same-instant batches must also
+			// agree).
+			evalAt := make([]time.Time, numReqs)
+			type span struct{ lo, hi int }
+			var batches []span
+			now := time.Unix(1_000_000, 0)
+			for lo := 0; lo < numReqs; {
+				hi := lo + 1 + rng.Intn(8)
+				if hi > numReqs {
+					hi = numReqs
+				}
+				for i := lo; i < hi; i++ {
+					evalAt[i] = now
+				}
+				batches = append(batches, span{lo, hi})
+				now = now.Add(time.Duration(rng.Intn(3)) * time.Duration(rng.Intn(40)) * time.Millisecond)
+				lo = hi
+			}
+
+			defaultRule := bucket.Rule{RefillRate: 2, Capacity: 4, Credit: 4}
+
+			// Batched server: one DecideBatch call per chunk.
+			var clockB time.Time
+			sb := newServer(t, Config{
+				Store: newDB(t, rules...), DefaultRule: defaultRule,
+				Clock: func() time.Time { return clockB },
+			})
+			batched := make([]wire.Response, 0, numReqs)
+			for _, b := range batches {
+				clockB = evalAt[b.lo]
+				batched = append(batched, sb.DecideBatch(reqs[b.lo:b.hi])...)
+			}
+
+			// Unbatched server: the same stream, one Decide per request, at
+			// the same evaluation times.
+			var clockU time.Time
+			su := newServer(t, Config{
+				Store: newDB(t, rules...), DefaultRule: defaultRule,
+				Clock: func() time.Time { return clockU },
+			})
+			unbatched := make([]wire.Response, 0, numReqs)
+			for i, req := range reqs {
+				clockU = evalAt[i]
+				unbatched = append(unbatched, su.Decide(req))
+			}
+
+			// Per-request verdicts must match exactly.
+			admittedB := map[string]float64{}
+			admittedU := map[string]float64{}
+			for i := range reqs {
+				b, u := batched[i], unbatched[i]
+				if b.ID != reqs[i].ID {
+					t.Fatalf("request %d: batched response ID %d, want %d", i, b.ID, reqs[i].ID)
+				}
+				if b.Allow != u.Allow || b.Status != u.Status {
+					t.Fatalf("request %d (key %q cost %v): batched %+v, unbatched %+v",
+						i, reqs[i].Key, reqs[i].Cost, b, u)
+				}
+				if b.Allow {
+					admittedB[reqs[i].Key] += reqs[i].Cost
+				}
+				if u.Allow {
+					admittedU[reqs[i].Key] += reqs[i].Cost
+				}
+			}
+			// And so must the per-key admitted credit (exact float equality:
+			// identical per-key subsequences → identical arithmetic).
+			for _, key := range keys {
+				if admittedB[key] != admittedU[key] {
+					t.Fatalf("key %q: batched admitted %v, unbatched %v", key, admittedB[key], admittedU[key])
+				}
+			}
+		})
+	}
+}

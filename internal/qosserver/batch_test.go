@@ -1,0 +1,102 @@
+package qosserver
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bucket"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// One batched datagram in, one batched datagram out: the worker decodes the
+// whole frame, evaluates every entry in a single pass, and the reply carries
+// a verdict for every entry (IDs echoed, order preserved).
+func TestWorkerAnswersBatchedDatagram(t *testing.T) {
+	db := newDB(t, bucket.Rule{Key: "alice", RefillRate: 0, Capacity: 2, Credit: 2})
+	s := newServer(t, Config{Store: db})
+
+	breq := wire.BatchRequest{Entries: []wire.Request{
+		{ID: 1, Key: "alice", Cost: 1},
+		{ID: 2, Key: "alice", Cost: 1},
+		{ID: 3, Key: "alice", Cost: 1}, // bucket exhausted: must be denied
+	}}
+	pkt, err := wire.AppendBatchRequest(nil, breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := mustRawUDP(t, s.Addr())
+	if _, err := conn.Write(pkt); err != nil {
+		t.Fatal(err)
+	}
+	conn.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, wire.MaxDatagram)
+	n, err := conn.conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp, err := wire.DecodeBatchResponse(buf[:n])
+	if err != nil {
+		t.Fatalf("reply is not a batch frame: %v", err)
+	}
+	if len(bresp.Entries) != 3 {
+		t.Fatalf("reply has %d entries, want 3", len(bresp.Entries))
+	}
+	for i, resp := range bresp.Entries {
+		if resp.ID != breq.Entries[i].ID {
+			t.Fatalf("entry %d: ID %d, want %d", i, resp.ID, breq.Entries[i].ID)
+		}
+	}
+	if !bresp.Entries[0].Allow || !bresp.Entries[1].Allow || bresp.Entries[2].Allow {
+		t.Fatalf("verdicts = %v %v %v, want allow/allow/deny",
+			bresp.Entries[0].Allow, bresp.Entries[1].Allow, bresp.Entries[2].Allow)
+	}
+	if st := s.Stats(); st.Decisions != 3 {
+		t.Fatalf("decisions = %d, want 3 (one per batch entry)", st.Decisions)
+	}
+}
+
+// A batching transport client against a real QoS server: the full fan-in
+// path (coalescer → batched datagram → worker → batched reply → fan-out)
+// under concurrency, plus the janus_qos_batch_size histogram observing
+// multi-entry frames.
+func TestBatchingClientAgainstQoSServer(t *testing.T) {
+	db := newDB(t, bucket.Rule{Key: "k", RefillRate: 1e6, Capacity: 1e6, Credit: 1e6})
+	s := newServer(t, Config{Store: db})
+	c, err := transport.Dial(s.Addr(), transport.Config{
+		Timeout: 100 * time.Millisecond, Retries: 5, MaxBatch: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			for i := 0; i < 50; i++ {
+				resp, err := c.Do(wire.Request{Key: "k", Cost: 1})
+				if err != nil {
+					done <- err
+					return
+				}
+				if !resp.Allow {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if max := s.batchSize.Max(); max < 2 {
+		t.Fatalf("qos server never saw a multi-entry datagram (max batch = %d)", max)
+	}
+	if st := s.Stats(); st.Decisions != 8*50 {
+		t.Fatalf("decisions = %d, want %d", st.Decisions, 8*50)
+	}
+}

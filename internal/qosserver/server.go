@@ -117,6 +117,7 @@ type Server struct {
 	defaults sync.Map // key -> struct{}
 
 	decisionLatency *metrics.Histogram
+	batchSize       *metrics.Histogram
 
 	registry *metrics.Registry
 	tracer   *trace.Recorder
@@ -185,6 +186,7 @@ func New(cfg Config) (*Server, error) {
 		clock:           clock,
 		fifo:            make(chan packet, cfg.QueueSize),
 		decisionLatency: metrics.NewHistogram(),
+		batchSize:       metrics.NewHistogram(),
 		registry:        reg,
 		tracer:          tracer,
 		received:        reg.Counter("janus_qos_received_total", "datagrams pulled off the UDP socket"),
@@ -201,6 +203,7 @@ func New(cfg Config) (*Server, error) {
 		logger:          logger,
 	}
 	reg.RegisterHistogram("janus_qos_decision_latency_ns", "worker-side admission decision latency in nanoseconds", s.decisionLatency)
+	reg.RegisterHistogram("janus_qos_batch_size", "request entries per received datagram (1 = unbatched router)", s.batchSize)
 	reg.GaugeFunc("janus_qos_table_keys", "keys resident in the local QoS table", func() float64 { return float64(s.table.Len()) })
 	reg.GaugeFunc("janus_qos_fifo_depth", "datagrams queued between listener and workers", func() float64 { return float64(len(s.fifo)) })
 	if cfg.ReplicationAddr != "" {
@@ -280,7 +283,11 @@ func (s *Server) listen() {
 	}
 }
 
-// worker polls the FIFO, decides, and responds.
+// worker polls the FIFO, decides, and responds. One FIFO slot may carry a
+// whole coalesced batch (wire.FlagBatched): the worker evaluates every entry
+// against the bucket table in one pass and answers with one batched
+// response, so the fan-in amortization the router bought on the send side
+// is preserved through the server's queue and reply syscall.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	out := make([]byte, 0, 64)
@@ -291,11 +298,39 @@ func (s *Server) worker() {
 			return
 		case pkt = <-s.fifo:
 		}
-		req, err := wire.DecodeRequest(pkt.data)
+		breq, err := wire.DecodeBatchRequest(pkt.data)
 		if err != nil {
 			s.malformed.Inc()
 			continue
 		}
+		s.batchSize.Record(int64(len(breq.Entries)))
+		resps := s.DecideBatch(breq.Entries)
+		out, err = wire.AppendBatchResponse(out[:0], wire.BatchResponse{Entries: resps})
+		if err != nil {
+			// Unreachable for a decoded batch (same entry IDs, same bound);
+			// counted rather than silently dropped.
+			s.sendErrors.Inc()
+			continue
+		}
+		// Fire and forget (§III-C: "The worker thread does not care about
+		// whether the request router receives the response or not") — but a
+		// send the kernel refused is counted, or silent drops would read as
+		// router-side packet loss.
+		if _, err := s.conn.WriteToUDP(out, pkt.raddr); err != nil {
+			s.sendErrors.Inc()
+		}
+	}
+}
+
+// DecideBatch evaluates a batch of requests against the bucket table in one
+// worker pass, preserving entry order. Each entry gets exactly the decision
+// a singleton submission would have received at the same instant — batching
+// is a transport optimization, never a semantic one (see the decision-
+// equivalence property test). Exported for in-process deployments and the
+// property harness.
+func (s *Server) DecideBatch(reqs []wire.Request) []wire.Response {
+	resps := make([]wire.Response, len(reqs))
+	for i, req := range reqs {
 		start := s.clock()
 		resp := s.Decide(req)
 		d := s.clock().Sub(start)
@@ -312,15 +347,9 @@ func (s *Server) worker() {
 				Dur:   int64(d),
 			}}})
 		}
-		out = wire.AppendResponse(out[:0], resp)
-		// Fire and forget (§III-C: "The worker thread does not care about
-		// whether the request router receives the response or not") — but a
-		// send the kernel refused is counted, or silent drops would read as
-		// router-side packet loss.
-		if _, err := s.conn.WriteToUDP(out, pkt.raddr); err != nil {
-			s.sendErrors.Inc()
-		}
+		resps[i] = resp
 	}
+	return resps
 }
 
 // Decide makes the admission decision for one request against the local

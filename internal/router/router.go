@@ -234,6 +234,12 @@ func New(cfg Config) (*Router, error) {
 		// so /metrics aggregates the whole UDP client layer.
 		cfg.Transport.Stats = transport.NewStats(reg)
 	}
+	if cfg.Transport.BatchSizes == nil {
+		// One shared histogram across all backend coalescers: entries per
+		// flushed datagram (all 1s when batching is off or uncontended).
+		cfg.Transport.BatchSizes = metrics.NewHistogram()
+		reg.RegisterHistogram("janus_router_batch_size", "request entries per coalesced datagram (1 = singleton fast path)", cfg.Transport.BatchSizes)
+	}
 	// The default-reply counter is labelled with the router's failure
 	// posture: fail_open routers fabricate admits on backend loss, stealing
 	// capacity, while fail_closed routers deny. The label makes the two

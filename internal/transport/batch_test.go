@@ -1,0 +1,257 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/failpoint"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// batchCfg turns coalescing on with room to observe real fan-in.
+func batchCfg(h *metrics.Histogram) Config {
+	return Config{
+		Timeout:    100 * time.Millisecond,
+		Retries:    5,
+		MaxBatch:   32,
+		MaxLinger:  200 * time.Microsecond,
+		BatchSizes: h,
+	}
+}
+
+// Concurrent callers to one backend must coalesce: with 32 goroutines
+// hammering a single client, at least one flushed datagram has to carry
+// multiple entries, and every caller still gets its own correct verdict.
+func TestCoalescingFormsBatches(t *testing.T) {
+	hist := metrics.NewHistogram()
+	_, c := startPair(t, batchCfg(hist))
+	const workers = 32
+	const per = 50
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				key, want := "alice", true
+				if (w+i)%3 == 0 {
+					key, want = "bob", false
+				}
+				resp, err := c.Do(wire.Request{Key: key, Cost: 1})
+				if err != nil || resp.Allow != want {
+					failures.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d mismatched responses under coalescing", failures.Load())
+	}
+	if hist.Count() == 0 {
+		t.Fatal("batch-size histogram never recorded a flush")
+	}
+	if max := hist.Max(); max < 2 {
+		t.Fatalf("no multi-entry batch formed under %d concurrent workers (max batch = %d)", workers, max)
+	}
+	if max := hist.Max(); max > 32 {
+		t.Fatalf("batch exceeded MaxBatch: %d", max)
+	}
+}
+
+// A sequential caller must stay on the singleton fast path: no datagram
+// carries more than one entry and (since a batch of one is byte-identical
+// to the legacy frame) nothing lingers waiting for company.
+func TestSingletonFastPathWhenUncontended(t *testing.T) {
+	hist := metrics.NewHistogram()
+	_, c := startPair(t, batchCfg(hist))
+	for i := 0; i < 50; i++ {
+		resp, err := c.Do(wire.Request{Key: "alice", Cost: 1})
+		if err != nil || !resp.Allow {
+			t.Fatalf("request %d: resp=%+v err=%v", i, resp, err)
+		}
+	}
+	if hist.Count() == 0 {
+		t.Fatal("batch-size histogram never recorded a flush")
+	}
+	if max := hist.Max(); max != 1 {
+		t.Fatalf("sequential caller produced a batch of %d, want all singletons", max)
+	}
+}
+
+// oldServer is a pre-batching janusd: a raw UDP loop that knows only the
+// legacy singleton codec (wire.DecodeRequest / wire.AppendResponse). Per the
+// trailing-optional-field convention it answers entry 0 of any batched frame
+// and ignores the batch section entirely.
+func oldServer(t *testing.T) string {
+	t.Helper()
+	laddr, _ := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	raw, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { raw.Close() })
+	go func() {
+		buf := make([]byte, 65536)
+		out := make([]byte, 0, 64)
+		for {
+			n, addr, err := raw.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			req, err := wire.DecodeRequest(buf[:n])
+			if err != nil {
+				continue
+			}
+			resp := echoHandler(req)
+			resp.ID = req.ID
+			out = wire.AppendResponse(out[:0], resp)
+			raw.WriteToUDP(out, addr)
+		}
+	}()
+	return raw.LocalAddr().String()
+}
+
+// Forward compatibility (mixed-version cluster): a batching router pointed at
+// a pre-batching janusd must stay CORRECT. Uncontended traffic is entirely
+// singleton frames (byte-identical to legacy) and works at full speed;
+// contended traffic degrades to entry-0-answered-per-datagram, with the other
+// entries recovering through their normal retry path.
+func TestOldServerForwardCompat(t *testing.T) {
+	addr := oldServer(t)
+	hist := metrics.NewHistogram()
+	c, err := Dial(addr, batchCfg(hist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Sequential: pure singleton frames, no degradation.
+	for i := 0; i < 20; i++ {
+		resp, err := c.Do(wire.Request{Key: "alice", Cost: 1})
+		if err != nil || !resp.Allow {
+			t.Fatalf("sequential request %d against old server: resp=%+v err=%v", i, resp, err)
+		}
+	}
+
+	// Contended: some frames will batch; only entry 0 is answered, the rest
+	// must recover by retrying (each retry re-enqueues and will usually go
+	// out alone or at the head of a frame).
+	const workers = 8
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				key, want := "alice", true
+				if w%2 == 1 {
+					key, want = "bob", false
+				}
+				resp, err := c.Do(wire.Request{Key: key, Cost: 1})
+				if err != nil || resp.Allow != want {
+					failures.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d requests failed against a pre-batching server", failures.Load())
+	}
+}
+
+// The batched variant of TestRetryBudgetBoundsTotalLatency: with coalescing
+// on and the batch flush path stalled by a delay failpoint, one exchange may
+// take at most MaxLinger + Retries × Timeout. The linger spends the caller's
+// fixed retry budget (the deadline is set before the first enqueue), so
+// batching cannot widen the paper's 100 µs × 5 worst-case envelope.
+func TestBatchedRetryBudgetBoundsTotalLatency(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetDropEvery(1) // server never answers: every attempt must time out
+	cfg := Config{
+		Timeout:   2 * time.Millisecond,
+		Retries:   5,
+		MaxBatch:  32,
+		MaxLinger: 500 * time.Microsecond,
+	}
+	c, err := Dial(srv.Addr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	defer failpoint.DisarmAll()
+	// Stall every batched flush by 3 ms — more than Timeout + MaxLinger, so
+	// a buggy per-attempt budget (fresh Timeout after each stall) would need
+	// ≥ 5 × (3+2) = 25 ms of real sleeps and cannot pass the bound below.
+	if err := failpoint.Arm("transport/client/batch", failpoint.Action{
+		Kind: failpoint.Delay, Delay: 3 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, attempts, derr := c.DoAttempts(wire.Request{Key: "alice", Cost: 1})
+	el := time.Since(start)
+	if !errors.Is(derr, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", derr)
+	}
+	// Budget: MaxLinger + Retries × Timeout = 10.5 ms. The last attempt may
+	// overshoot by one in-flight stall plus a per-try timeout; allow ~2× for
+	// scheduling noise.
+	if el >= 22*time.Millisecond {
+		t.Fatalf("batched Do took %v, want < 22ms (budget %v)", el, cfg.MaxLinger+5*cfg.Timeout)
+	}
+	// The flush stall is asynchronous (the caller's wait, not its send, is
+	// what's budgeted), so all Retries attempts fit — but never more.
+	if attempts > 5 {
+		t.Fatalf("attempts = %d, want <= 5 (the budget is fixed up front)", attempts)
+	}
+}
+
+// Partial-batch drop: the transport/client/batch Drop action truncates every
+// flush to its head half, so tail entries silently vanish before the wire.
+// Callers must recover through retries with no misdelivery.
+func TestPartialBatchDropRecovery(t *testing.T) {
+	hist := metrics.NewHistogram()
+	_, c := startPair(t, batchCfg(hist))
+	defer failpoint.DisarmAll()
+	if err := failpoint.Arm("transport/client/batch", failpoint.Action{
+		Kind: failpoint.Drop, P: 0.5, Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 16
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				key, want := "alice", true
+				if w%2 == 1 {
+					key, want = "bob", false
+				}
+				resp, err := c.Do(wire.Request{Key: key, Cost: 1})
+				if err != nil || resp.Allow != want {
+					failures.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d requests failed to recover from partial-batch drops", failures.Load())
+	}
+}

@@ -39,7 +39,10 @@
 // evolution pattern: new fields are appended after the existing payload and
 // gated by a flag bit, so decoders that predate the field skip it (the key
 // length / fixed response length bound what they read, and the CRC covers
-// the full datagram on both sides). See DESIGN.md §7.
+// the full datagram on both sides). See DESIGN.md §7. The second extension
+// is the batch section (FlagBatched, batch.go): extra request/response
+// entries appended after the legacy payload, letting one datagram carry a
+// whole fan-in batch while old decoders still answer entry 0.
 package wire
 
 import (
@@ -184,14 +187,6 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 	if len(req.Key) > MaxKeyLen {
 		return dst, ErrKeyTooLong
 	}
-	cost := req.Cost
-	if cost < 0 {
-		cost = 0
-	}
-	scaled := uint64(math.Round(cost * costScale))
-	if scaled > math.MaxUint32 {
-		scaled = math.MaxUint32
-	}
 	start := len(dst)
 	need := requestHeaderLen + len(req.Key)
 	var flags byte
@@ -199,13 +194,10 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 		flags |= FlagTraced
 		need += traceIDLen
 	}
-	for cap(dst)-start < need {
-		dst = append(dst[:cap(dst)], 0)
-	}
-	dst = dst[:start+need]
+	dst = growTo(dst, start, need)
 	buf := dst[start:]
 	putHeader(buf, typeRequest, flags, req.ID)
-	binary.BigEndian.PutUint32(buf[16:], uint32(scaled))
+	binary.BigEndian.PutUint32(buf[16:], scaleCost(req.Cost))
 	binary.BigEndian.PutUint16(buf[20:], uint16(len(req.Key)))
 	copy(buf[22:], req.Key)
 	if req.TraceID != 0 {
@@ -255,28 +247,13 @@ func AppendResponse(dst []byte, resp Response) []byte {
 		flags |= FlagTraced
 		need = responseTracedLen
 	}
-	for cap(dst)-start < need {
-		dst = append(dst[:cap(dst)], 0)
-	}
-	dst = dst[:start+need]
+	dst = growTo(dst, start, need)
 	buf := dst[start:]
 	putHeader(buf, typeResponse, flags, resp.ID)
-	if resp.Allow {
-		buf[16] = 1
-	} else {
-		buf[16] = 0
-	}
-	buf[17] = byte(resp.Status)
+	putVerdict(buf[16:], resp)
 	if resp.TraceID != 0 {
 		binary.BigEndian.PutUint64(buf[18:], resp.TraceID)
-		nanos := resp.ServerNanos
-		if nanos < 0 {
-			nanos = 0
-		}
-		if nanos > math.MaxUint32 {
-			nanos = math.MaxUint32
-		}
-		binary.BigEndian.PutUint32(buf[26:], uint32(nanos))
+		binary.BigEndian.PutUint32(buf[26:], clampNanos(resp.ServerNanos))
 	}
 	seal(buf)
 	return dst
