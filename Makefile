@@ -4,7 +4,7 @@ GO ?= go
 # reproduces with the same seed.
 JANUS_CHAOS_SEED ?= 1
 
-.PHONY: check check-race build test vet lint lint-manifest race chaos chaos-long fuzz-smoke bench-membership bench-observability bench-failpoint bench-batching smoke-metrics
+.PHONY: check check-race build test vet lint lint-manifest race chaos chaos-long fuzz-smoke bench-membership bench-observability bench-failpoint bench-batching bench-lease smoke-metrics
 
 # The pre-merge gate: static checks, the janus-vet analyzer suite, build,
 # and the full test suite.
@@ -56,6 +56,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeRequest -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeResponse -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzBatchFrameDecode -fuzztime 10s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzLeaseFrameDecode -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzHAFrameDecode -fuzztime 10s ./internal/qosserver/
 
 # Regenerates the numbers recorded in BENCH_membership.json.
@@ -77,6 +78,10 @@ bench-failpoint:
 # raised by no more than MaxLinger.
 bench-batching:
 	$(GO) test -run '^$$' -bench BatchingFanIn -benchtime 2s .
+
+# Regenerates the numbers recorded in BENCH_lease.json.
+bench-lease:
+	$(GO) test -run '^$$' -bench LeaseZipfHot -benchtime 2s .
 
 # Boots the four-tier stack with -metrics-addr and asserts every daemon's
 # /metrics answers with janus_* series.

@@ -500,7 +500,8 @@ func BenchmarkAblationUDPvsTCP(b *testing.B) {
 					}
 					resp := handler(req)
 					resp.ID = req.ID
-					conn.Write(wire.EncodeResponse(resp))
+					pkt, _ := wire.EncodeResponse(resp)
+					conn.Write(pkt)
 				}(conn)
 			}
 		}()

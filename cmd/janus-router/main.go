@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/debugz"
+	"repro/internal/lease"
 	"repro/internal/membership"
 	"repro/internal/router"
 	"repro/internal/transport"
@@ -45,6 +46,8 @@ func main() {
 		defaultReply = flag.Bool("default-reply", false, "verdict returned when a QoS server is unreachable")
 		metricsAddr  = flag.String("metrics-addr", "", "HTTP address for /metrics and /debug endpoints (empty disables)")
 		traceSample  = flag.Float64("trace-sample", 0, "fraction of direct (non-LB) requests to trace [0,1]")
+		leaseOn      = flag.Bool("lease", false, "admit hot keys from local credit leases granted by the QoS servers")
+		leaseHot     = flag.Float64("lease-hot", lease.DefaultHotRate, "demand threshold (decisions/second) above which a key asks for a lease")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "janus-router ", log.LstdFlags|log.Lmicroseconds)
@@ -75,14 +78,18 @@ func main() {
 		logger.Fatal("either -backends or -coordinator is required")
 	}
 
-	r, err := router.New(router.Config{
+	rcfg := router.Config{
 		Addr:         *addr,
 		Backends:     initial,
 		Picker:       picker,
 		Transport:    transport.Config{Timeout: *timeout, Retries: *retries, MaxBatch: *maxBatch, MaxLinger: *maxLinger},
 		DefaultReply: *defaultReply,
 		Logger:       logger,
-	})
+	}
+	if *leaseOn {
+		rcfg.Lease = &lease.TableConfig{HotRate: *leaseHot}
+	}
+	r, err := router.New(rcfg)
 	if err != nil {
 		logger.Fatalf("start: %v", err)
 	}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/bucket"
 	"repro/internal/debugz"
+	"repro/internal/lease"
 	"repro/internal/membership"
 	"repro/internal/minisql"
 	"repro/internal/qosserver"
@@ -48,6 +49,8 @@ func main() {
 		memberName  = flag.String("member-name", "", "name to register with the coordinator (default: the UDP listen address)")
 		beatIv      = flag.Duration("beat", time.Second, "coordinator heartbeat interval")
 		metricsAddr = flag.String("metrics-addr", "", "HTTP address for /metrics and /debug endpoints (empty disables)")
+		leaseFrac   = flag.Float64("lease-fraction", 0, "share of a bucket's refill rate leasable to routers, (0,1] (0 disables leasing)")
+		leaseTTL    = flag.Duration("lease-ttl", lease.DefaultTTL, "credit lease lifetime")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "janusd ", log.LstdFlags|log.Lmicroseconds)
@@ -75,6 +78,8 @@ func main() {
 		FailOpen:           *failOpen,
 		ReplicationAddr:    *replAddr,
 		Logger:             logger,
+		LeaseFraction:      *leaseFrac,
+		LeaseTTL:           *leaseTTL,
 	}
 	srv, err := qosserver.New(cfg)
 	if err != nil {

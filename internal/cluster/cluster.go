@@ -16,6 +16,7 @@ import (
 	"repro/internal/bucket"
 	"repro/internal/dns"
 	"repro/internal/lb"
+	"repro/internal/lease"
 	"repro/internal/loadgen"
 	"repro/internal/membership"
 	"repro/internal/minisql"
@@ -95,6 +96,18 @@ type Config struct {
 	DNSTTL time.Duration
 	// Rules seeds the database.
 	Rules []bucket.Rule
+	// Lease enables credit leasing end to end: routers admit hot keys from
+	// local leased buckets, QoS servers grant bounded rate shares
+	// (internal/lease).
+	Lease bool
+	// LeaseHotRate is the router-side demand threshold (decisions/second)
+	// above which a key asks for a lease; 0 means lease.DefaultHotRate.
+	LeaseHotRate float64
+	// LeaseFraction is the share of a bucket's refill rate the QoS server
+	// may delegate, (0,1]; 0 means lease.DefaultFraction.
+	LeaseFraction float64
+	// LeaseTTL is the lease lifetime; 0 means lease.DefaultTTL.
+	LeaseTTL time.Duration
 }
 
 func (c *Config) defaults() {
@@ -329,7 +342,7 @@ func (rr routerResolver) ResolveOne(name string) (string, error) {
 func qosName(i int) string { return fmt.Sprintf("%s%d.%s", qosPrefix, i, Domain) }
 
 func (c *Cluster) qosConfig() qosserver.Config {
-	return qosserver.Config{
+	cfg := qosserver.Config{
 		Addr:               "127.0.0.1:0",
 		Workers:            c.cfg.QoSWorkers,
 		TableKind:          c.cfg.TableKind,
@@ -339,6 +352,14 @@ func (c *Cluster) qosConfig() qosserver.Config {
 		CheckpointInterval: c.cfg.CheckpointInterval,
 		Store:              c.Store,
 	}
+	if c.cfg.Lease {
+		cfg.LeaseFraction = c.cfg.LeaseFraction
+		if cfg.LeaseFraction <= 0 {
+			cfg.LeaseFraction = lease.DefaultFraction
+		}
+		cfg.LeaseTTL = c.cfg.LeaseTTL
+	}
+	return cfg
 }
 
 func (c *Cluster) startQoSPair(i int) (*QoSPair, error) {
@@ -442,14 +463,18 @@ func (c *Cluster) startRouter() (*router.Router, error) {
 		names[i] = p.Name
 	}
 	c.mu.Unlock()
-	r, err := router.New(router.Config{
+	rcfg := router.Config{
 		Addr:         "127.0.0.1:0",
 		Backends:     names,
 		Picker:       c.picker,
 		Resolver:     routerResolver{c.Resolver},
 		Transport:    c.cfg.Transport,
 		DefaultReply: c.cfg.DefaultReply,
-	})
+	}
+	if c.cfg.Lease {
+		rcfg.Lease = &lease.TableConfig{HotRate: c.cfg.LeaseHotRate}
+	}
+	r, err := router.New(rcfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,110 @@
+package lease
+
+import (
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+)
+
+// Demand tracking: a windowed EWMA of the per-key decision rate, observed at
+// the router on every admission (leased or not). The estimate decides who is
+// hot enough to lease and sizes the rate share carried in asks and renewals.
+//
+// The tracker is sharded to keep the per-decision critical section off a
+// single lock, and bounded: idle keys are swept lazily and a full shard
+// refuses new keys (reporting zero demand) rather than growing without
+// limit — an untracked key simply stays on the server-arbitrated path.
+const (
+	demandShards   = 32
+	demandWindow   = 250 * time.Millisecond
+	demandAlpha    = 0.5 // weight of the newest window
+	demandIdle     = 10 * time.Second
+	demandSweep    = 5 * time.Second
+	demandShardCap = 2048
+)
+
+type demandEntry struct {
+	rate        float64 // EWMA decisions/second
+	count       float64 // decisions since windowStart
+	windowStart time.Time
+	lastSeen    time.Time
+}
+
+type demandShard struct {
+	mu        sync.Mutex
+	keys      map[string]*demandEntry
+	lastSweep time.Time
+}
+
+type demand struct {
+	shards [demandShards]demandShard
+}
+
+func newDemand() *demand {
+	d := &demand{}
+	for i := range d.shards {
+		d.shards[i].keys = make(map[string]*demandEntry)
+	}
+	return d
+}
+
+func shardOf(key string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return h.Sum32() % demandShards
+}
+
+// Observe records one decision for key at now and returns the current
+// demand estimate in decisions/second.
+func (d *demand) Observe(key string, now time.Time) float64 {
+	s := &d.shards[shardOf(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now.Sub(s.lastSweep) >= demandSweep {
+		s.sweepLocked(now)
+	}
+	e := s.keys[key]
+	if e == nil {
+		if len(s.keys) >= demandShardCap {
+			return 0 // full shard: leave the key server-arbitrated
+		}
+		e = &demandEntry{windowStart: now}
+		s.keys[key] = e
+	}
+	e.count++
+	e.lastSeen = now
+	elapsed := now.Sub(e.windowStart)
+	if elapsed >= demandWindow {
+		// Roll the window: blend the instantaneous rate in, decaying the
+		// old estimate once per elapsed window so a long-idle key cools.
+		inst := e.count / elapsed.Seconds()
+		decay := math.Pow(1-demandAlpha, elapsed.Seconds()/demandWindow.Seconds())
+		e.rate = demandAlpha*inst + decay*e.rate
+		e.count = 0
+		e.windowStart = now
+	}
+	return e.rate
+}
+
+// Rate returns the current demand estimate for key without recording a
+// decision.
+func (d *demand) Rate(key string, now time.Time) float64 {
+	s := &d.shards[shardOf(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.keys[key]
+	if e == nil {
+		return 0
+	}
+	return e.rate
+}
+
+func (s *demandShard) sweepLocked(now time.Time) {
+	s.lastSweep = now
+	for k, e := range s.keys {
+		if now.Sub(e.lastSeen) > demandIdle {
+			delete(s.keys, k)
+		}
+	}
+}

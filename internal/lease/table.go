@@ -1,0 +1,290 @@
+package lease
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/failpoint"
+	"repro/internal/wire"
+)
+
+// fpStale sits on the Table's epoch check, evaluated whenever a lease's
+// epoch disagrees with the router's current membership epoch. Normally the
+// mismatch invalidates the lease on the spot; arming Drop SKIPS the
+// invalidation, forcing the router to keep admitting from a stale-epoch
+// lease (the bug chaostest must prove is bounded by the lease TTL). Other
+// kinds only count the evaluation.
+var fpStale = failpoint.New("router/lease/stale")
+
+// TableConfig configures the router-side lease table.
+type TableConfig struct {
+	// HotRate is the demand (decisions/second) above which the table asks
+	// for a lease; 0 means DefaultHotRate.
+	HotRate float64
+	// Clock overrides time.Now (tests).
+	Clock func() time.Time
+}
+
+// Table is the router-side lease state: one local token bucket per leased
+// key, plus the demand tracker that decides who is worth leasing. The
+// router consults it before picking a backend; a decided admission never
+// touches the wire.
+type Table struct {
+	hotRate float64
+	clock   func() time.Time
+	demand  *demand
+
+	epoch struct {
+		mu sync.Mutex
+		v  uint64
+	}
+
+	mu     sync.RWMutex
+	leases map[string]*localLease
+}
+
+// localLease is one delegated token bucket. Credit accrues at the granted
+// rate up to cap, starting from the prepaid burst; the lease admits locally
+// until it expires or its epoch goes stale.
+type localLease struct {
+	mu       sync.Mutex
+	rate     float64
+	cap      float64
+	credit   float64
+	last     time.Time
+	expiry   time.Time
+	ttl      time.Duration
+	epoch    uint64
+	renewing bool // one in-flight renewal at a time
+}
+
+// NewTable creates an empty lease table.
+func NewTable(cfg TableConfig) *Table {
+	if cfg.HotRate <= 0 {
+		cfg.HotRate = DefaultHotRate
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Table{
+		hotRate: cfg.HotRate,
+		clock:   cfg.Clock,
+		demand:  newDemand(),
+		leases:  make(map[string]*localLease),
+	}
+}
+
+// SetEpoch records the router's current membership epoch. Leases granted
+// under older epochs die at their next use: after a view swap the key may
+// have a new owner, and only the TTL bounds what the old owner believes.
+func (t *Table) SetEpoch(epoch uint64) {
+	t.epoch.mu.Lock()
+	if epoch > t.epoch.v {
+		t.epoch.v = epoch
+	}
+	t.epoch.mu.Unlock()
+}
+
+func (t *Table) currentEpoch() uint64 {
+	t.epoch.mu.Lock()
+	defer t.epoch.mu.Unlock()
+	return t.epoch.v
+}
+
+// Decision is the table's verdict for one admission.
+type Decision struct {
+	// Decided reports that the admission was served locally; Allow is then
+	// the verdict and the request must not touch the wire.
+	Decided bool
+	// Allow is the local verdict when Decided.
+	Allow bool
+	// Ask, when Ask.Op != 0, is a lease operation the router should
+	// piggyback on the wire request it is about to send (never set when
+	// Decided).
+	Ask wire.LeaseAsk
+}
+
+// Route runs one admission through the table: it records demand, serves the
+// key from its lease when one is live, and otherwise tells the router what
+// lease operation (if any) to piggyback on the fall-through request.
+func (t *Table) Route(key string, cost float64) Decision {
+	now := t.clock()
+	rate := t.demand.Observe(key, now)
+	epoch := t.currentEpoch()
+
+	t.mu.RLock()
+	l := t.leases[key]
+	t.mu.RUnlock()
+
+	if l == nil {
+		if rate >= t.hotRate {
+			return Decision{Ask: wire.LeaseAsk{Op: wire.LeaseOpAsk, Demand: rate, Epoch: epoch}}
+		}
+		return Decision{}
+	}
+
+	l.mu.Lock()
+	if l.epoch != epoch {
+		stale := false
+		if fpStale.Armed() {
+			stale = fpStale.Eval().Kind == failpoint.Drop
+		}
+		if !stale {
+			l.mu.Unlock()
+			t.drop(key, l)
+			if rate >= t.hotRate {
+				return Decision{Ask: wire.LeaseAsk{Op: wire.LeaseOpAsk, Demand: rate, Epoch: epoch}}
+			}
+			return Decision{}
+		}
+	}
+	if !now.Before(l.expiry) {
+		l.mu.Unlock()
+		t.drop(key, l)
+		if rate >= t.hotRate {
+			return Decision{Ask: wire.LeaseAsk{Op: wire.LeaseOpAsk, Demand: rate, Epoch: epoch}}
+		}
+		return Decision{}
+	}
+	if remaining := l.expiry.Sub(now); remaining < time.Duration(renewFraction*float64(l.ttl)) && !l.renewing {
+		// Renewal window: route THIS admission over the wire carrying the
+		// renew op — the server's verdict stands in for the local one and
+		// the grant re-arms the lease. A cold key is renounced instead,
+		// freeing the reserved rate ahead of expiry.
+		l.renewing = true
+		l.mu.Unlock()
+		op := wire.LeaseOpRenew
+		if rate < t.hotRate/4 {
+			op = wire.LeaseOpRenounce
+			t.drop(key, l)
+		}
+		return Decision{Ask: wire.LeaseAsk{Op: op, Demand: rate, Epoch: epoch}}
+	}
+	// Local admission: advance the delegated bucket and spend from it.
+	elapsed := now.Sub(l.last).Seconds()
+	if elapsed > 0 {
+		l.credit += elapsed * l.rate
+		if l.credit > l.cap {
+			l.credit = l.cap
+		}
+		l.last = now
+	}
+	allow := false
+	if cost <= 0 {
+		cost = 1
+	}
+	if l.credit >= cost {
+		l.credit -= cost
+		allow = true
+	}
+	l.mu.Unlock()
+	return Decision{Decided: true, Allow: allow}
+}
+
+// drop removes l from the table if it is still the entry for key.
+func (t *Table) drop(key string, l *localLease) {
+	t.mu.Lock()
+	if t.leases[key] == l {
+		delete(t.leases, key)
+	}
+	t.mu.Unlock()
+}
+
+// Apply installs the lease section of a response for key: grants (re)arm the
+// local bucket, denials clear any pending ask state, and revocations drop
+// the lease (the section's own key wins when set, so a revocation for key A
+// can ride a response for key B).
+func (t *Table) Apply(key string, g wire.LeaseGrant) {
+	switch g.Op {
+	case wire.LeaseOpGrant:
+		t.applyGrant(key, g)
+	case wire.LeaseOpDeny:
+		t.mu.RLock()
+		l := t.leases[key]
+		t.mu.RUnlock()
+		if l != nil {
+			t.drop(key, l)
+		}
+	case wire.LeaseOpRevoke:
+		if g.Key != "" {
+			key = g.Key
+		}
+		t.mu.RLock()
+		l := t.leases[key]
+		t.mu.RUnlock()
+		if l != nil {
+			t.drop(key, l)
+		}
+	}
+}
+
+func (t *Table) applyGrant(key string, g wire.LeaseGrant) {
+	if g.Epoch != t.currentEpoch() || g.Rate <= 0 {
+		return // granted under a view this router has already left
+	}
+	now := t.clock()
+	// The local cap bounds idle accrual within one lease window; safety
+	// comes from the reservation, so the cap only shapes burstiness.
+	capacity := g.Burst + g.Rate*(g.TTL.Seconds()/2)
+	t.mu.Lock()
+	l := t.leases[key]
+	if l == nil {
+		t.leases[key] = &localLease{
+			rate:   g.Rate,
+			cap:    capacity,
+			credit: g.Burst,
+			last:   now,
+			expiry: now.Add(g.TTL),
+			ttl:    g.TTL,
+			epoch:  g.Epoch,
+		}
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+	// Renewal (or a duplicated grant): extend in place, keeping accrued
+	// credit — re-adding the burst here would mint credit the server never
+	// prepaid twice.
+	l.mu.Lock()
+	elapsed := now.Sub(l.last).Seconds()
+	if elapsed > 0 {
+		l.credit += elapsed * l.rate
+		if l.credit > l.cap {
+			l.credit = l.cap
+		}
+		l.last = now
+	}
+	l.rate = g.Rate
+	l.cap = capacity
+	if l.credit > capacity {
+		l.credit = capacity
+	}
+	if e := now.Add(g.TTL); e.After(l.expiry) {
+		l.expiry = e
+	}
+	l.ttl = g.TTL
+	l.epoch = g.Epoch
+	l.renewing = false
+	l.mu.Unlock()
+}
+
+// AskFailed clears the in-flight renewal mark after a failed wire exchange
+// that carried a lease op, so the next admission in the renewal window can
+// try again.
+func (t *Table) AskFailed(key string) {
+	t.mu.RLock()
+	l := t.leases[key]
+	t.mu.RUnlock()
+	if l != nil {
+		l.mu.Lock()
+		l.renewing = false
+		l.mu.Unlock()
+	}
+}
+
+// Len returns the number of leases currently held.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.leases)
+}

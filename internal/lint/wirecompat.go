@@ -52,7 +52,7 @@ var trackedStructs = []struct {
 }{
 	{"internal/bucket", []string{"Rule"}}, // embedded in haEntry, gob-encoded
 	{"internal/qosserver", []string{"haFrame", "haEntry"}},
-	{"internal/wire", []string{"Request", "Response", "BatchRequest", "BatchResponse"}},
+	{"internal/wire", []string{"Request", "Response", "BatchRequest", "BatchResponse", "LeaseAsk", "LeaseGrant"}},
 }
 
 // Analyze implements Analyzer.

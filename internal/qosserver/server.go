@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/bucket"
 	"repro/internal/failpoint"
+	"repro/internal/lease"
 	"repro/internal/metrics"
 	"repro/internal/store"
 	"repro/internal/table"
@@ -87,6 +88,14 @@ type Config struct {
 	// trace ID; nil creates a private recorder. The server never samples —
 	// the sampling decision is made at the edge and carried in the request.
 	Tracer *trace.Recorder
+	// LeaseFraction > 0 enables credit leasing (internal/lease): up to this
+	// share of a bucket's refill rate, (0,1], may be delegated to routers
+	// for local admission. 0 disables leasing; lease sections on inbound
+	// requests are then ignored, which is exactly what a pre-lease server
+	// does.
+	LeaseFraction float64
+	// LeaseTTL is the lease lifetime; 0 means lease.DefaultTTL.
+	LeaseTTL time.Duration
 }
 
 // Stats are cumulative operation counters for one server.
@@ -101,6 +110,13 @@ type Stats struct {
 	DefaultHit int64 // decisions served by the default rule
 	DBErrors   int64
 	SendErrors int64 // response datagrams the kernel refused to send
+
+	// Lease counters (zero unless Config.LeaseFraction > 0).
+	LeaseGrants  int64   // grants and renewals issued
+	LeaseDenies  int64   // asks refused
+	LeaseRevokes int64   // leases revoked before TTL
+	Leases       int     // leases currently outstanding
+	LeasedRate   float64 // refill rate currently delegated, credits/second
 }
 
 // Server is a running QoS server node.
@@ -132,6 +148,11 @@ type Server struct {
 	defaultHit *metrics.Counter
 	dbErrors   *metrics.Counter
 	sendErrors *metrics.Counter
+
+	leases       *lease.Manager // nil when leasing is disabled
+	leaseGrants  *metrics.Counter
+	leaseDenies  *metrics.Counter
+	leaseRevokes *metrics.Counter
 
 	ha *haListener
 
@@ -206,6 +227,14 @@ func New(cfg Config) (*Server, error) {
 	reg.RegisterHistogram("janus_qos_batch_size", "request entries per received datagram (1 = unbatched router)", s.batchSize)
 	reg.GaugeFunc("janus_qos_table_keys", "keys resident in the local QoS table", func() float64 { return float64(s.table.Len()) })
 	reg.GaugeFunc("janus_qos_fifo_depth", "datagrams queued between listener and workers", func() float64 { return float64(len(s.fifo)) })
+	if cfg.LeaseFraction > 0 {
+		s.leases = lease.NewManager(lease.ManagerConfig{Fraction: cfg.LeaseFraction, TTL: cfg.LeaseTTL, Clock: clock})
+		s.leaseGrants = reg.Counter("janus_qos_lease_grants_total", "credit lease grants and renewals issued")
+		s.leaseDenies = reg.Counter("janus_qos_lease_denies_total", "credit lease asks refused")
+		s.leaseRevokes = reg.Counter("janus_qos_lease_revokes_total", "credit leases revoked before their TTL")
+		reg.GaugeFunc("janus_qos_leased_rate", "refill rate currently delegated to credit leases, credits/second", s.leases.LeasedRate)
+		reg.GaugeFunc("janus_qos_leases", "credit leases currently outstanding", func() float64 { return float64(s.leases.Holders()) })
+	}
 	if cfg.ReplicationAddr != "" {
 		ha, err := newHAListener(s, cfg.ReplicationAddr)
 		if err != nil {
@@ -231,6 +260,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CheckpointInterval > 0 && cfg.Store != nil {
 		s.wg.Add(1)
 		go s.checkpointLoop()
+	}
+	if s.leases != nil {
+		s.wg.Add(1)
+		go s.leaseSweepLoop()
 	}
 	return s, nil
 }
@@ -305,6 +338,12 @@ func (s *Server) worker() {
 		}
 		s.batchSize.Record(int64(len(breq.Entries)))
 		resps := s.DecideBatch(breq.Entries)
+		// Lease traffic rides singleton exchanges only (FlagLease and
+		// FlagBatched are mutually exclusive on the wire), so lease asks are
+		// served — and pending revocations delivered — on unbatched frames.
+		if s.leases != nil && len(breq.Entries) == 1 {
+			s.attachLease(&breq.Entries[0], &resps[0], pkt.raddr.String())
+		}
 		out, err = wire.AppendBatchResponse(out[:0], wire.BatchResponse{Entries: resps})
 		if err != nil {
 			// Unreachable for a decoded batch (same entry IDs, same bound);
@@ -318,6 +357,78 @@ func (s *Server) worker() {
 		// router-side packet loss.
 		if _, err := s.conn.WriteToUDP(out, pkt.raddr); err != nil {
 			s.sendErrors.Inc()
+		}
+	}
+}
+
+// fpLeaseRevokeDrop models a lost lease revocation: the reserved rate is
+// already released server-side, but the holder never hears it should stop
+// admitting locally, so it keeps spending its leased rate until the TTL
+// runs out — exactly the overhang the C + r·t + leased·TTL bound covers.
+var fpLeaseRevokeDrop = failpoint.New("qosserver/lease/revoke-drop")
+
+// attachLease serves a piggybacked lease ask on a singleton exchange. A
+// revocation queued for the holder takes priority over answering the ask —
+// a response carries at most one lease section, and when a holder's wire
+// traffic is all renewals, revocations would otherwise never find a
+// carrier. The starved ask is simply left unanswered; the router re-asks.
+func (s *Server) attachLease(req *wire.Request, resp *wire.Response, holder string) {
+	if g, ok := s.leases.PendingRevoke(holder); ok {
+		if fpLeaseRevokeDrop.Armed() {
+			switch o := fpLeaseRevokeDrop.EvalPeer(holder); o.Kind {
+			case failpoint.Drop, failpoint.Partition:
+				return // revocation lost; the lease TTL bounds the damage
+			case failpoint.Delay:
+				o.Sleep()
+			}
+		}
+		resp.Lease = g
+		return
+	}
+	if req.Lease.Op != 0 {
+		// Decide already installed the bucket for this key, so Get only
+		// misses if the key raced a concurrent delete — deny by omission.
+		if b := s.table.Get(req.Key); b != nil {
+			g := s.leases.Handle(req.Key, holder, req.Lease, b)
+			switch g.Op {
+			case wire.LeaseOpGrant:
+				s.leaseGrants.Inc()
+			case wire.LeaseOpDeny:
+				s.leaseDenies.Inc()
+			}
+			resp.Lease = g
+		}
+	}
+}
+
+// revokeLeases withdraws all leases on key before its bucket is replaced,
+// deleted, or handed off; no-op when leasing is disabled.
+func (s *Server) revokeLeases(key string) {
+	if s.leases == nil {
+		return
+	}
+	if n := s.leases.Revoke(key); n > 0 {
+		s.leaseRevokes.Add(int64(n))
+	}
+}
+
+// leaseSweepLoop periodically expires leases whose holders vanished, so
+// their reserved rate returns to the shared bucket no later than one sweep
+// interval after the TTL.
+func (s *Server) leaseSweepLoop() {
+	defer s.wg.Done()
+	every := s.leases.TTL() / 2
+	if every < 10*time.Millisecond {
+		every = 10 * time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case now := <-t.C:
+			s.leases.Sweep(now)
 		}
 	}
 }
@@ -512,6 +623,7 @@ func (s *Server) SyncOnce() {
 			}
 			if found {
 				s.defaults.Delete(e.key)
+				s.revokeLeases(e.key)
 				s.table.Put(e.key, s.newBucket(r, now))
 			}
 			continue
@@ -523,6 +635,7 @@ func (s *Server) SyncOnce() {
 		}
 		if !found {
 			// Rule deleted: evict; next request applies the default rule.
+			s.revokeLeases(e.key)
 			s.table.Delete(e.key)
 			continue
 		}
@@ -532,6 +645,9 @@ func (s *Server) SyncOnce() {
 		// is left alone so the database's stale credit (last checkpoint)
 		// does not overwrite live consumption.
 		if r.RefillRate != e.b.RefillRate() || r.Capacity != e.b.Capacity() {
+			// Leases reserve rate on the old bucket object; revoke before
+			// the swap so old and new refill streams cannot coexist.
+			s.revokeLeases(e.key)
 			s.table.Put(e.key, s.newBucket(r, now))
 		}
 	}
@@ -579,7 +695,7 @@ func (s *Server) TableLen() int { return s.table.Len() }
 
 // Stats returns a snapshot of the operation counters.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Received:   s.received.Value(),
 		Dropped:    s.dropped.Value(),
 		Malformed:  s.malformed.Value(),
@@ -591,6 +707,14 @@ func (s *Server) Stats() Stats {
 		DBErrors:   s.dbErrors.Value(),
 		SendErrors: s.sendErrors.Value(),
 	}
+	if s.leases != nil {
+		st.LeaseGrants = s.leaseGrants.Value()
+		st.LeaseDenies = s.leaseDenies.Value()
+		st.LeaseRevokes = s.leaseRevokes.Value()
+		st.Leases = s.leases.Holders()
+		st.LeasedRate = s.leases.LeasedRate()
+	}
+	return st
 }
 
 // DecisionLatency returns the decision-latency histogram.
@@ -611,6 +735,11 @@ type BucketSnapshot struct {
 	// Default marks keys served by the default rule (absent from the
 	// database).
 	Default bool `json:"default,omitempty"`
+	// LeasedRate and LeaseHolders report the refill rate delegated to
+	// credit leases on this key and how many routers hold one (zero unless
+	// leasing is enabled).
+	LeasedRate   float64 `json:"leased_rate,omitempty"`
+	LeaseHolders int     `json:"lease_holders,omitempty"`
 }
 
 // SnapshotBuckets captures up to limit rows of the live bucket table
@@ -621,13 +750,17 @@ func (s *Server) SnapshotBuckets(limit int) []BucketSnapshot {
 	var out []BucketSnapshot
 	s.table.Range(func(key string, b *bucket.Bucket) bool {
 		_, isDefault := s.defaults.Load(key)
-		out = append(out, BucketSnapshot{
+		row := BucketSnapshot{
 			Key:        key,
 			Credit:     b.Credit(now),
 			Capacity:   b.Capacity(),
 			RefillRate: b.RefillRate(),
 			Default:    isDefault,
-		})
+		}
+		if s.leases != nil {
+			row.LeasedRate, row.LeaseHolders = s.leases.KeyLease(key)
+		}
+		out = append(out, row)
 		return limit <= 0 || len(out) < limit
 	})
 	return out

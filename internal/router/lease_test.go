@@ -1,0 +1,151 @@
+package router
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bucket"
+	"repro/internal/lease"
+	"repro/internal/membership"
+	"repro/internal/minisql"
+	"repro/internal/qosserver"
+	"repro/internal/store"
+)
+
+// newLeasingBackend boots a QoS server with credit leasing enabled and the
+// given rules seeded.
+func newLeasingBackend(t *testing.T, ttl time.Duration, rules ...bucket.Rule) (*qosserver.Server, *store.Store) {
+	t.Helper()
+	db := store.New(minisql.NewEngine())
+	if err := db.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutAll(rules); err != nil {
+		t.Fatal(err)
+	}
+	s, err := qosserver.New(qosserver.Config{
+		Addr:          "127.0.0.1:0",
+		Store:         db,
+		LeaseFraction: 0.5,
+		LeaseTTL:      ttl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, db
+}
+
+// hammer runs n admissions for key through the router's HTTP front end.
+func hammer(t *testing.T, r *Router, key string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		httpCheck(t, r, key)
+	}
+}
+
+// waitLeased hammers until the router holds at least one lease (or fails).
+func waitLeased(t *testing.T, r *Router, key string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		hammer(t, r, key, 50)
+		if r.Stats().Leases > 0 {
+			return
+		}
+	}
+	t.Fatalf("router never acquired a lease: %+v", r.Stats())
+}
+
+func TestRouterLeaseLifecycle(t *testing.T) {
+	qs, _ := newLeasingBackend(t, time.Second, bucket.Rule{Key: "hot", RefillRate: 100000, Capacity: 100000, Credit: 100000})
+	r := newRouter(t, Config{
+		Backends: []string{qs.Addr()},
+		Lease:    &lease.TableConfig{HotRate: 20},
+	})
+
+	waitLeased(t, r, "hot")
+	if st := qs.Stats(); st.LeaseGrants == 0 || st.LeasedRate <= 0 {
+		t.Fatalf("server granted nothing: %+v", st)
+	}
+
+	// Once leased, admissions are served locally: the server's decision
+	// counter goes quiet while lease hits climb.
+	before := qs.Stats().Decisions
+	hitsBefore := r.Stats().LeaseHits
+	hammer(t, r, "hot", 200)
+	served := qs.Stats().Decisions - before
+	hits := r.Stats().LeaseHits - hitsBefore
+	if hits < 150 {
+		t.Fatalf("lease hits %d of 200, want the vast majority local", hits)
+	}
+	if served > 50 {
+		t.Fatalf("server still decided %d of 200 leased admissions", served)
+	}
+
+	// The /debug/qos snapshot exposes the delegation.
+	for _, row := range qs.SnapshotBuckets(0) {
+		if row.Key == "hot" && (row.LeasedRate <= 0 || row.LeaseHolders != 1) {
+			t.Fatalf("snapshot row missing lease columns: %+v", row)
+		}
+	}
+}
+
+func TestRouterLeaseEpochInvalidation(t *testing.T) {
+	qs, _ := newLeasingBackend(t, time.Second, bucket.Rule{Key: "hot", RefillRate: 100000, Capacity: 100000, Credit: 100000})
+	r := newRouter(t, Config{
+		Backends: []string{qs.Addr()},
+		Lease:    &lease.TableConfig{HotRate: 20},
+	})
+	waitLeased(t, r, "hot")
+
+	// A view swap bumps the membership epoch: the lease dies at next use
+	// (the key may have a new owner now) and is re-acquired under the new
+	// epoch through the normal ask path.
+	grants := qs.Stats().LeaseGrants
+	if err := r.UpdateView(membership.View{Epoch: 3, Backends: []string{qs.Addr()}}); err != nil {
+		t.Fatal(err)
+	}
+	// The first use after the swap invalidates the stale lease; the same
+	// exchange carries a fresh ask under epoch 3, so a new grant appears.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		hammer(t, r, "hot", 50)
+		if qs.Stats().LeaseGrants > grants {
+			return
+		}
+	}
+	t.Fatalf("lease not re-acquired after epoch bump: %+v", qs.Stats())
+}
+
+func TestRouterLeaseRevokedOnRuleChange(t *testing.T) {
+	qs, db := newLeasingBackend(t, 30*time.Second, bucket.Rule{Key: "hot", RefillRate: 100000, Capacity: 100000, Credit: 100000})
+	r := newRouter(t, Config{
+		Backends: []string{qs.Addr()},
+		Lease:    &lease.TableConfig{HotRate: 20},
+	})
+	waitLeased(t, r, "hot")
+
+	// The user buys a different rate: SyncOnce swaps the bucket, which must
+	// revoke the outstanding lease; the revocation piggybacks on the next
+	// singleton response and the router drops its local bucket. The long TTL
+	// proves the drop comes from the revocation, not expiry.
+	if err := db.Put(bucket.Rule{Key: "hot", RefillRate: 50000, Capacity: 50000, Credit: 50000}); err != nil {
+		t.Fatal(err)
+	}
+	qs.SyncOnce()
+	if qs.Stats().LeaseRevokes == 0 {
+		t.Fatalf("rule swap revoked nothing: %+v", qs.Stats())
+	}
+	grants := qs.Stats().LeaseGrants
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		hammer(t, r, "miss-traffic", 10) // any response can carry the revocation
+		hammer(t, r, "hot", 10)
+		if st := qs.Stats(); st.LeaseGrants > grants {
+			// Re-acquired after the revocation landed — full cycle done.
+			return
+		}
+	}
+	t.Fatalf("lease never cycled after revocation: server %+v router %+v", qs.Stats(), r.Stats())
+}

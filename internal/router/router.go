@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/failpoint"
+	"repro/internal/lease"
 	"repro/internal/membership"
 	"repro/internal/metrics"
 	"repro/internal/trace"
@@ -98,6 +99,11 @@ type Config struct {
 	// sampled); otherwise the tracer's own sampler may start a trace. Nil
 	// creates a private recorder with sampling disabled.
 	Tracer *trace.Recorder
+	// Lease enables credit leasing (internal/lease): hot keys are admitted
+	// from local rate leases granted by the QoS servers, without the UDP
+	// hop. Nil disables leasing — the default, and the only mode old
+	// servers ever observe.
+	Lease *lease.TableConfig
 }
 
 // Stats are cumulative counters for one router node.
@@ -114,6 +120,15 @@ type Stats struct {
 	// LastRemapFraction estimates the fraction of the key space whose
 	// owner changed at the most recent view swap (0 before any swap).
 	LastRemapFraction float64
+
+	// LeaseHits counts admissions decided locally from a credit lease
+	// (LeaseAllowed of them admitted); LeaseMisses counts admissions that
+	// fell through to the wire while leasing was enabled. Leases is the
+	// number of leases currently held.
+	LeaseHits    int64
+	LeaseAllowed int64
+	LeaseMisses  int64
+	Leases       int
 }
 
 // routeState is one immutable routing table: a view plus its dial slots.
@@ -147,6 +162,11 @@ type Router struct {
 	redials        *metrics.Counter
 	viewSwaps      *metrics.Counter
 	lastRemapBits  atomic.Uint64 // math.Float64bits of LastRemapFraction
+
+	leases      *lease.Table // nil when leasing is disabled
+	leaseAllows *metrics.Counter
+	leaseDenies *metrics.Counter
+	leaseMisses *metrics.Counter
 
 	wg sync.WaitGroup
 }
@@ -263,6 +283,15 @@ func New(cfg Config) (*Router, error) {
 		redials:        reg.Counter("janus_router_redials_total", "backend reconnects after failure"),
 		viewSwaps:      reg.Counter("janus_router_view_swaps_total", "membership views adopted after the initial one"),
 	}
+	if cfg.Lease != nil {
+		r.leases = lease.NewTable(*cfg.Lease)
+		r.leaseAllows = reg.Counter("janus_router_lease_hits_total", "admissions decided locally from a credit lease", metrics.Label{Key: "verdict", Value: "allow"})
+		r.leaseDenies = reg.Counter("janus_router_lease_hits_total", "admissions decided locally from a credit lease", metrics.Label{Key: "verdict", Value: "deny"})
+		r.leaseMisses = reg.Counter("janus_router_lease_misses_total", "admissions that fell through to the wire with leasing enabled")
+		reg.GaugeFunc("janus_router_leases", "credit leases currently held", func() float64 {
+			return float64(r.leases.Len())
+		})
+	}
 	reg.RegisterHistogram("janus_router_latency_ns", "HTTP request latency in nanoseconds", r.latency)
 	reg.GaugeFunc("janus_router_view_epoch", "epoch of the view currently routing traffic", func() float64 {
 		return float64(r.state.Load().view.Epoch)
@@ -330,6 +359,12 @@ func (r *Router) UpdateView(v membership.View) error {
 	st := r.buildState(v, old)
 	remap := membership.RemapFraction(old.view, v, r.picker, 0)
 	r.state.Store(st)
+	if r.leases != nil {
+		// Leases are epoch-scoped: after the swap, keys may have new owners,
+		// so leases granted under the old view die at their next use and the
+		// router re-asks the new owner.
+		r.leases.SetEpoch(v.Epoch)
+	}
 	r.viewSwaps.Inc()
 	r.lastRemapBits.Store(math.Float64bits(remap))
 	r.logger.Printf("router: adopted view epoch %d (%d backends, ~%.1f%% of keys remapped)",
@@ -427,6 +462,23 @@ func (r *Router) Route(qreq wire.Request) wire.Response {
 }
 
 func (r *Router) route(qreq wire.Request) (wire.Response, routeInfo) {
+	if r.leases != nil {
+		d := r.leases.Route(qreq.Key, qreq.Cost)
+		if d.Decided {
+			// Leased fast path: the key's rate share lives in the local
+			// table and the wire is never touched.
+			if d.Allow {
+				r.leaseAllows.Inc()
+			} else {
+				r.leaseDenies.Inc()
+			}
+			return wire.Response{Allow: d.Allow, Status: wire.StatusLeased}, routeInfo{backend: "lease"}
+		}
+		r.leaseMisses.Inc()
+		// Piggyback whatever lease op the table wants (ask for a hot key,
+		// renew near expiry, renounce a cold one) on this wire exchange.
+		qreq.Lease = d.Ask
+	}
 	st := r.state.Load()
 	i, err := r.picker.Pick(qreq.Key, len(st.backends))
 	if err != nil {
@@ -443,7 +495,7 @@ func (r *Router) route(qreq wire.Request) (wire.Response, routeInfo) {
 			// concerned; take the same path a real retry exhaustion takes,
 			// minus the wall-clock wait.
 			r.timeouts.Inc()
-			return r.defaultReply(), info
+			return r.leaseFailed(qreq), info
 		case failpoint.Delay:
 			o.Sleep()
 		}
@@ -451,7 +503,7 @@ func (r *Router) route(qreq wire.Request) (wire.Response, routeInfo) {
 	client, err := b.getClient()
 	if err != nil {
 		r.logger.Printf("router: backend %s unavailable: %v", b.name, err)
-		return r.defaultReply(), info
+		return r.leaseFailed(qreq), info
 	}
 	resp, attempts, err := client.DoAttempts(qreq)
 	info.attempts = attempts
@@ -461,9 +513,30 @@ func (r *Router) route(qreq wire.Request) (wire.Response, routeInfo) {
 		// backend name — after a DNS failover this lands on the new master.
 		b.invalidate()
 		r.redials.Inc()
-		return r.defaultReply(), info
+		return r.leaseFailed(qreq), info
+	}
+	if r.leases != nil {
+		switch {
+		case resp.Lease.Op != 0:
+			r.leases.Apply(qreq.Key, resp.Lease)
+		case qreq.Lease.Op != 0:
+			// The server left our ask unanswered (a pending revocation for
+			// another key took the section); clear the renewal mark so the
+			// next admission re-asks.
+			r.leases.AskFailed(qreq.Key)
+		}
 	}
 	return resp, info
+}
+
+// leaseFailed is defaultReply for exchanges that carried a lease op: the op
+// never reached the server (or its answer never arrived), so any in-flight
+// renewal mark must be cleared for the next admission to retry it.
+func (r *Router) leaseFailed(qreq wire.Request) wire.Response {
+	if r.leases != nil && qreq.Lease.Op != 0 {
+		r.leases.AskFailed(qreq.Key)
+	}
+	return r.defaultReply()
 }
 
 func (r *Router) defaultReply() wire.Response {
@@ -473,7 +546,7 @@ func (r *Router) defaultReply() wire.Response {
 
 // Stats returns a snapshot of the router counters.
 func (r *Router) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Requests:          r.requests.Value(),
 		BadRequests:       r.badRequests.Value(),
 		Timeouts:          r.timeouts.Value(),
@@ -483,6 +556,14 @@ func (r *Router) Stats() Stats {
 		Epoch:             r.state.Load().view.Epoch,
 		LastRemapFraction: math.Float64frombits(r.lastRemapBits.Load()),
 	}
+	if r.leases != nil {
+		allowed := r.leaseAllows.Value()
+		s.LeaseAllowed = allowed
+		s.LeaseHits = allowed + r.leaseDenies.Value()
+		s.LeaseMisses = r.leaseMisses.Value()
+		s.Leases = r.leases.Len()
+	}
+	return s
 }
 
 // Latency returns the HTTP-request latency histogram.

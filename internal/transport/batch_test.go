@@ -111,7 +111,7 @@ func oldServer(t *testing.T) string {
 			}
 			resp := echoHandler(req)
 			resp.ID = req.ID
-			out = wire.AppendResponse(out[:0], resp)
+			out, _ = wire.AppendResponse(out[:0], resp)
 			raw.WriteToUDP(out, addr)
 		}
 	}()

@@ -293,7 +293,7 @@ func (c *Client) DoAttempts(req wire.Request) (wire.Response, int, error) {
 		}
 		for i := 0; i < sends; i++ {
 			c.stats.Attempts.Inc()
-			if c.co != nil && attempt == 0 {
+			if c.co != nil && attempt == 0 && req.Lease.Op == 0 {
 				// Fan-in path: the first attempt rides the per-backend
 				// coalescer, leaving the socket inside a batched datagram on
 				// the flusher goroutine. Retries bypass it: needing one means
@@ -301,7 +301,10 @@ func (c *Client) DoAttempts(req wire.Request) (wire.Response, int, error) {
 				// batch drop, or a pre-batching receiver that answers only
 				// entry 0), so the retry goes out alone as a legacy frame —
 				// the highest-probability path, and what keeps a mixed-version
-				// cluster live under contention.
+				// cluster live under contention. Lease-carrying requests also
+				// bypass it on the first attempt: the lease section and the
+				// batch extension are mutually exclusive on the wire
+				// (wire/lease.go), so an ask must travel as a singleton.
 				c.co.enqueue(req)
 				continue
 			}

@@ -247,7 +247,8 @@ func TestClientIgnoresGarbageResponses(t *testing.T) {
 				continue
 			}
 			raw.WriteToUDP([]byte("junk"), addr)
-			raw.WriteToUDP(wire.EncodeResponse(wire.Response{ID: req.ID, Allow: true}), addr)
+			pkt, _ := wire.EncodeResponse(wire.Response{ID: req.ID, Allow: true})
+			raw.WriteToUDP(pkt, addr)
 		}
 	}()
 	c, err := Dial(raw.LocalAddr().String(), Config{Timeout: 100 * time.Millisecond, Retries: 3})

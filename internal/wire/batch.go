@@ -121,6 +121,13 @@ func AppendBatchRequest(dst []byte, b BatchRequest) ([]byte, error) {
 	if err := checkUniqueIDs(b.Entries); err != nil {
 		return dst, err
 	}
+	for _, e := range b.Entries {
+		// The lease section and the batch extension are mutually exclusive
+		// (lease.go): the batch extension must stay the frame's final bytes.
+		if e.Lease.Op != 0 {
+			return dst, ErrLeaseInBatch
+		}
+	}
 	head := b.Entries[0]
 	need := requestHeaderLen + len(head.Key) + batchCountLen
 	flags := byte(FlagBatched)
@@ -189,6 +196,9 @@ func DecodeBatchRequest(buf []byte) (BatchRequest, error) {
 			return BatchRequest{}, err
 		}
 		return BatchRequest{Entries: []Request{req}}, nil
+	}
+	if buf[3]&FlagLease != 0 {
+		return BatchRequest{}, ErrLeaseInBatch
 	}
 	if len(buf) < requestHeaderLen {
 		return BatchRequest{}, ErrTruncated
@@ -262,12 +272,17 @@ func AppendBatchResponse(dst []byte, b BatchResponse) ([]byte, error) {
 	case len(b.Entries) == 0:
 		return dst, ErrEmptyBatch
 	case len(b.Entries) == 1:
-		return AppendResponse(dst, b.Entries[0]), nil
+		return AppendResponse(dst, b.Entries[0])
 	case len(b.Entries) > MaxBatchEntries:
 		return dst, ErrBatchTooLarge
 	}
 	if err := checkUniqueRespIDs(b.Entries); err != nil {
 		return dst, err
+	}
+	for _, e := range b.Entries {
+		if e.Lease.Op != 0 {
+			return dst, ErrLeaseInBatch
+		}
 	}
 	head := b.Entries[0]
 	need := responseLen + batchCountLen
@@ -328,6 +343,9 @@ func DecodeBatchResponse(buf []byte) (BatchResponse, error) {
 			return BatchResponse{}, err
 		}
 		return BatchResponse{Entries: []Response{resp}}, nil
+	}
+	if buf[3]&FlagLease != 0 {
+		return BatchResponse{}, ErrLeaseInBatch
 	}
 	if len(buf) < responseLen {
 		return BatchResponse{}, ErrTruncated

@@ -72,7 +72,7 @@ func TestSingletonBatchIsLegacyFrame(t *testing.T) {
 		t.Fatalf("singleton batch differs from legacy frame:\nlegacy  %x\nbatched %x", legacy, batched)
 	}
 	resp := Response{ID: 7, Allow: true, Status: StatusOK, TraceID: 42, ServerNanos: 99}
-	legacyR := EncodeResponse(resp)
+	legacyR := mustEncodeResponse(resp)
 	batchedR, err := AppendBatchResponse(nil, BatchResponse{Entries: []Response{resp}})
 	if err != nil {
 		t.Fatal(err)
@@ -140,7 +140,7 @@ func TestLegacyFrameDecodesAsSingletonBatch(t *testing.T) {
 		t.Fatalf("got %+v err %v", got, err)
 	}
 	resp := Response{ID: 9, Allow: true, Status: StatusDefaultReply}
-	gotR, err := DecodeBatchResponse(EncodeResponse(resp))
+	gotR, err := DecodeBatchResponse(mustEncodeResponse(resp))
 	if err != nil || len(gotR.Entries) != 1 || gotR.Entries[0] != resp {
 		t.Fatalf("got %+v err %v", gotR, err)
 	}

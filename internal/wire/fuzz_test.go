@@ -110,7 +110,7 @@ func checkAcceptedBatchResponse(t *testing.T, br BatchResponse) {
 }
 
 func FuzzDecodeResponse(f *testing.F) {
-	f.Add(EncodeResponse(Response{ID: 9, Allow: true, Status: StatusOK}))
+	f.Add(mustEncodeResponse(Response{ID: 9, Allow: true, Status: StatusOK}))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{Magic}, 32))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -118,7 +118,7 @@ func FuzzDecodeResponse(f *testing.F) {
 		if err != nil {
 			return
 		}
-		back, err := DecodeResponse(EncodeResponse(resp))
+		back, err := DecodeResponse(mustEncodeResponse(resp))
 		if err != nil || back != resp {
 			t.Fatalf("round trip changed value: %+v -> %+v (%v)", resp, back, err)
 		}

@@ -38,7 +38,7 @@ func TestUntracedRequestHasNoFlag(t *testing.T) {
 
 func TestTracedResponseRoundTrip(t *testing.T) {
 	resp := Response{ID: 9, Allow: true, Status: StatusOK, TraceID: 0xabc, ServerNanos: 12345}
-	got, err := DecodeResponse(EncodeResponse(resp))
+	got, err := DecodeResponse(mustEncodeResponse(resp))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestTracedResponseRoundTrip(t *testing.T) {
 func TestTracedResponseNanosClamped(t *testing.T) {
 	for _, nanos := range []int64{-5, math.MaxInt64} {
 		resp := Response{ID: 1, TraceID: 1, ServerNanos: nanos}
-		got, err := DecodeResponse(EncodeResponse(resp))
+		got, err := DecodeResponse(mustEncodeResponse(resp))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,7 +77,7 @@ func TestTracedFrameTruncated(t *testing.T) {
 		t.Fatalf("truncated traced request error = %v, want ErrTruncated", err)
 	}
 
-	rbuf := EncodeResponse(Response{ID: 1, TraceID: 5})
+	rbuf := mustEncodeResponse(Response{ID: 1, TraceID: 5})
 	shortR := rbuf[:len(rbuf)-2]
 	reseal(shortR)
 	if _, err := DecodeResponse(shortR); err != ErrTruncated {
@@ -104,7 +104,7 @@ func TestOldDecoderSkipsTrailingFields(t *testing.T) {
 		t.Fatalf("decoded %+v", got)
 	}
 
-	rbuf := EncodeResponse(Response{ID: 4, Allow: true, TraceID: 0x99, ServerNanos: 7})
+	rbuf := mustEncodeResponse(Response{ID: 4, Allow: true, TraceID: 0x99, ServerNanos: 7})
 	rbuf[3] &^= FlagTraced
 	reseal(rbuf)
 	gotR, err := DecodeResponse(rbuf)

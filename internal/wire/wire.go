@@ -93,6 +93,9 @@ const (
 	// StatusError means the server failed internally; verdict carries the
 	// fail-open/fail-closed default.
 	StatusError Status = 3
+	// StatusLeased means the router admitted the key locally from a credit
+	// lease (internal/lease) without consulting the server.
+	StatusLeased Status = 4
 )
 
 // String implements fmt.Stringer.
@@ -106,6 +109,8 @@ func (s Status) String() string {
 		return "default-reply"
 	case StatusError:
 		return "error"
+	case StatusLeased:
+		return "leased"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -122,6 +127,10 @@ type Request struct {
 	// TraceID, when non-zero, marks the request as sampled for tracing and
 	// rides the wire as an optional trailing field (internal/trace).
 	TraceID uint64
+	// Lease, when Lease.Op != 0, piggybacks a lease ask/renew/renounce on
+	// this request as the flag-gated trailing lease section (lease.go).
+	// Lease-carrying requests must travel as singletons, never batched.
+	Lease LeaseAsk
 }
 
 // Response is the boolean admission decision.
@@ -138,6 +147,9 @@ type Response struct {
 	// nanoseconds, reported only on traced responses (capped at ~4.29 s by
 	// the 4-byte wire field).
 	ServerNanos int64
+	// Lease, when Lease.Op != 0, piggybacks a lease grant/deny/revoke on
+	// this response as the flag-gated trailing lease section (lease.go).
+	Lease LeaseGrant
 }
 
 // Decode errors.
@@ -194,14 +206,26 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 		flags |= FlagTraced
 		need += traceIDLen
 	}
+	if req.Lease.Op != 0 {
+		if err := req.Lease.validate(); err != nil {
+			return dst, err
+		}
+		flags |= FlagLease
+		need += leaseAskLen
+	}
 	dst = growTo(dst, start, need)
 	buf := dst[start:]
 	putHeader(buf, typeRequest, flags, req.ID)
 	binary.BigEndian.PutUint32(buf[16:], scaleCost(req.Cost))
 	binary.BigEndian.PutUint16(buf[20:], uint16(len(req.Key)))
 	copy(buf[22:], req.Key)
+	off := requestHeaderLen + len(req.Key)
 	if req.TraceID != 0 {
-		binary.BigEndian.PutUint64(buf[requestHeaderLen+len(req.Key):], req.TraceID)
+		binary.BigEndian.PutUint64(buf[off:], req.TraceID)
+		off += traceIDLen
+	}
+	if req.Lease.Op != 0 {
+		putLeaseAsk(buf[off:], req.Lease)
 	}
 	seal(buf)
 	return dst, nil
@@ -229,17 +253,28 @@ func DecodeRequest(buf []byte) (Request, error) {
 		Cost: float64(binary.BigEndian.Uint32(buf[16:])) / costScale,
 		Key:  string(buf[22 : 22+n]),
 	}
+	off := requestHeaderLen + n
 	if buf[3]&FlagTraced != 0 {
-		if len(buf) < requestHeaderLen+n+traceIDLen {
+		if len(buf) < off+traceIDLen {
 			return Request{}, ErrTruncated
 		}
-		req.TraceID = binary.BigEndian.Uint64(buf[requestHeaderLen+n:])
+		req.TraceID = binary.BigEndian.Uint64(buf[off:])
+		off += traceIDLen
+	}
+	if buf[3]&FlagLease != 0 {
+		if buf[3]&FlagBatched != 0 {
+			return Request{}, ErrLeaseInBatch
+		}
+		var err error
+		if req.Lease, _, err = parseLeaseAsk(buf, off); err != nil {
+			return Request{}, err
+		}
 	}
 	return req, nil
 }
 
 // AppendResponse appends the encoded response to dst.
-func AppendResponse(dst []byte, resp Response) []byte {
+func AppendResponse(dst []byte, resp Response) ([]byte, error) {
 	start := len(dst)
 	need := responseLen
 	var flags byte
@@ -247,20 +282,32 @@ func AppendResponse(dst []byte, resp Response) []byte {
 		flags |= FlagTraced
 		need = responseTracedLen
 	}
+	if resp.Lease.Op != 0 {
+		if err := resp.Lease.validate(); err != nil {
+			return dst, err
+		}
+		flags |= FlagLease
+		need += leaseGrantLen + len(resp.Lease.Key)
+	}
 	dst = growTo(dst, start, need)
 	buf := dst[start:]
 	putHeader(buf, typeResponse, flags, resp.ID)
 	putVerdict(buf[16:], resp)
+	off := responseLen
 	if resp.TraceID != 0 {
 		binary.BigEndian.PutUint64(buf[18:], resp.TraceID)
 		binary.BigEndian.PutUint32(buf[26:], clampNanos(resp.ServerNanos))
+		off = responseTracedLen
+	}
+	if resp.Lease.Op != 0 {
+		putLeaseGrant(buf[off:], resp.Lease)
 	}
 	seal(buf)
-	return dst
+	return dst, nil
 }
 
 // EncodeResponse encodes resp into a fresh buffer.
-func EncodeResponse(resp Response) []byte {
+func EncodeResponse(resp Response) ([]byte, error) {
 	return AppendResponse(make([]byte, 0, responseTracedLen), resp)
 }
 
@@ -277,12 +324,23 @@ func DecodeResponse(buf []byte) (Response, error) {
 		Allow:  buf[16] == 1,
 		Status: Status(buf[17]),
 	}
+	off := responseLen
 	if buf[3]&FlagTraced != 0 {
 		if len(buf) < responseTracedLen {
 			return Response{}, ErrTruncated
 		}
 		resp.TraceID = binary.BigEndian.Uint64(buf[18:])
 		resp.ServerNanos = int64(binary.BigEndian.Uint32(buf[26:]))
+		off = responseTracedLen
+	}
+	if buf[3]&FlagLease != 0 {
+		if buf[3]&FlagBatched != 0 {
+			return Response{}, ErrLeaseInBatch
+		}
+		var err error
+		if resp.Lease, _, err = parseLeaseGrant(buf, off); err != nil {
+			return Response{}, err
+		}
 	}
 	return resp, nil
 }

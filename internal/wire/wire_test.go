@@ -38,7 +38,7 @@ func TestResponseRoundTrip(t *testing.T) {
 		{ID: 3, Allow: true, Status: StatusDefaultReply},
 		{ID: math.MaxUint64, Allow: false, Status: StatusError},
 	} {
-		got, err := DecodeResponse(EncodeResponse(want))
+		got, err := DecodeResponse(mustEncodeResponse(want))
 		if err != nil {
 			t.Fatalf("decode %+v: %v", want, err)
 		}
