@@ -4,7 +4,7 @@ GO ?= go
 # reproduces with the same seed.
 JANUS_CHAOS_SEED ?= 1
 
-.PHONY: check check-race build test vet lint lint-manifest race chaos chaos-long fuzz-smoke bench-membership bench-observability bench-failpoint bench-batching bench-lease smoke-metrics
+.PHONY: check check-race build test vet lint lint-json lint-manifest race chaos chaos-long fuzz-smoke bench-allocs bench-membership bench-observability bench-failpoint bench-batching bench-lease smoke-metrics
 
 # The pre-merge gate: static checks, the janus-vet analyzer suite, build,
 # and the full test suite.
@@ -18,10 +18,17 @@ vet:
 
 # janus-vet enforces the repo's own invariants: no wall clock in
 # simulation packages, lock/unlock discipline, frozen gob wire formats,
-# no silently dropped transport errors, and one code site per failpoint
-# name. See internal/lint.
+# no silently dropped transport errors, one code site per failpoint
+# name, allocation-free //janus:hotpath functions, provable goroutine
+# stop paths, and deadline-dominated network reads/writes. See
+# internal/lint.
 lint:
 	$(GO) run ./cmd/janus-vet ./...
+
+# The same run with machine-readable output, for CI artifacts and editor
+# integrations. Exit codes are identical to the plain run.
+lint-json:
+	$(GO) run ./cmd/janus-vet -json ./... > janus-vet.json
 
 # Regenerates internal/lint/wirecompat.golden after an intentional wire
 # format change. Review the diff: every changed line is a compatibility
@@ -58,6 +65,13 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzBatchFrameDecode -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzLeaseFrameDecode -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzHAFrameDecode -fuzztime 10s ./internal/qosserver/
+
+# Re-measures the numbers pinned in BENCH_allocs.json: exact allocs/op on
+# the three zero-alloc hot paths (singleton decode→Decide→encode, batch(32)
+# decode→DecideBatchAppend→encode, lease-table hit). The pins assert the
+# budget exactly, so this is a test run, not a benchmark run.
+bench-allocs:
+	$(GO) test ./internal/qosserver -run AllocPin -count=1 -v
 
 # Regenerates the numbers recorded in BENCH_membership.json.
 bench-membership:

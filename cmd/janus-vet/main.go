@@ -1,24 +1,35 @@
 // Command janus-vet runs the project-specific static analyzers over the
 // module: simclock (no wall clock / global RNG in simulation packages),
-// lockdiscipline (locks released, no mixed atomic/plain field access),
-// wirecompat (wire/gob struct layouts match the golden manifest), and
-// errdrop (no silently discarded Close/SetDeadline/Write errors in
-// transport hot paths). See internal/lint for the invariants and the
-// //lint:ignore suppression syntax.
+// lockdiscipline (locks released, no defer-unlock in loops, no mixed
+// atomic/plain field access), wirecompat (wire/gob struct layouts match
+// the golden manifest), errdrop (no silently discarded
+// Close/SetDeadline/Write errors in transport hot paths), failpointsite
+// (failpoint names are literal, well-formed, single-site), hotalloc
+// (//janus:hotpath functions are allocation-free), goleak (daemon
+// goroutines have provable stop paths), and deadline (daemon socket I/O
+// runs under deadlines or audited helpers). See internal/lint for the
+// invariants and the //lint:ignore suppression syntax.
 //
 // Usage:
 //
 //	janus-vet ./...                      # analyze the whole module
 //	janus-vet internal/qosserver         # analyze one directory
 //	janus-vet -pkgpath repro/internal/sim dir   # treat dir as that import path
+//	janus-vet -json ./...                # machine-readable findings on stdout
 //	janus-vet -write-manifest            # regenerate the wirecompat manifest
 //	janus-vet -list                      # list analyzers
 //
-// Exit status is 0 when no findings are reported, 1 otherwise, 2 on usage
-// or load errors.
+// With -json, stdout carries a single JSON object:
+//
+//	{"findings":[{"file":...,"line":...,"col":...,"analyzer":...,"message":...}],"count":N}
+//
+// and the human summary line goes to stderr, so CI can pipe stdout
+// straight into an artifact. Exit status is 0 when no findings are
+// reported, 1 otherwise, 2 on usage or load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +39,20 @@ import (
 	"repro/internal/lint"
 )
 
+// jsonFinding is the machine-readable rendering of one lint.Finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type jsonReport struct {
+	Findings []jsonFinding `json:"findings"`
+	Count    int           `json:"count"`
+}
+
 func main() {
 	var (
 		manifest      = flag.String("manifest", "", "override the wirecompat golden manifest path")
@@ -35,13 +60,14 @@ func main() {
 		pkgPath       = flag.String("pkgpath", "", "import path to assign to explicit directory arguments (for fixture/testing runs)")
 		list          = flag.Bool("list", false, "list analyzers and exit")
 		only          = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+		asJSON        = flag.Bool("json", false, "emit findings as JSON on stdout (summary line on stderr)")
 	)
 	flag.Parse()
 
 	analyzers := lint.Analyzers(*manifest)
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-16s %s\n", a.Name(), a.Doc())
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -50,11 +76,11 @@ func main() {
 		for _, n := range strings.Split(*only, ",") {
 			want[strings.TrimSpace(n)] = true
 		}
-		var sel []lint.Analyzer
+		var sel []*lint.Analyzer
 		for _, a := range analyzers {
-			if want[a.Name()] {
+			if want[a.Name] {
 				sel = append(sel, a)
-				delete(want, a.Name())
+				delete(want, a.Name)
 			}
 		}
 		for n := range want {
@@ -111,14 +137,34 @@ func main() {
 		return
 	}
 
-	failed := false
+	var findings []lint.Finding
 	for _, prog := range progs {
-		for _, f := range lint.Run(prog, analyzers) {
+		findings = append(findings, lint.Run(prog, analyzers)...)
+	}
+
+	if *asJSON {
+		report := jsonReport{Findings: make([]jsonFinding, 0, len(findings)), Count: len(findings)}
+		for _, f := range findings {
+			report.Findings = append(report.Findings, jsonFinding{
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		for _, f := range findings {
 			fmt.Println(f)
-			failed = true
 		}
 	}
-	if failed {
+	fmt.Fprintf(os.Stderr, "janus-vet: %d finding(s)\n", len(findings))
+	if len(findings) > 0 {
 		os.Exit(1)
 	}
 }

@@ -147,6 +147,8 @@ func (b *Bucket) advanceLocked(now time.Time) {
 // TryConsume attempts to spend n credits at time now. It returns true and
 // deducts the credit when at least n credits are available (paper: "If the
 // current credit is greater than zero, it returns TRUE"). n must be > 0.
+//
+//janus:hotpath
 func (b *Bucket) TryConsume(n float64, now time.Time) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -213,6 +215,8 @@ func (b *Bucket) Update(rate, capacity float64, now time.Time) {
 // reservation would exceed the nominal refill rate, so leases can never mint
 // refill that the rule does not grant. Credit is brought current first, so
 // refill accrued before the reservation is kept.
+//
+//janus:hotpath
 func (b *Bucket) Reserve(delta float64, now time.Time) bool {
 	if delta <= 0 || math.IsNaN(delta) {
 		return false

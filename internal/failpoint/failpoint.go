@@ -208,6 +208,8 @@ func (f *FP) Name() string { return f.name }
 
 // Armed reports whether the failpoint is armed. This is the hot-path gate:
 // one atomic pointer load and a nil comparison when disarmed.
+//
+//janus:hotpath
 func (f *FP) Armed() bool { return f.state.Load() != nil }
 
 // Hits returns how many times the failpoint has fired since registration

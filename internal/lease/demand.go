@@ -1,7 +1,6 @@
 package lease
 
 import (
-	"hash/fnv"
 	"math"
 	"sync"
 	"time"
@@ -49,14 +48,24 @@ func newDemand() *demand {
 	return d
 }
 
+// shardOf hashes key with inline FNV-1a. The hash/fnv package would both
+// box a hash.Hash32 and copy the key to []byte on every decision; the
+// unrolled loop hashes the string in place with zero allocations.
+//
+//janus:hotpath
 func shardOf(key string) uint32 {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return h.Sum32() % demandShards
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h % demandShards
 }
 
 // Observe records one decision for key at now and returns the current
 // demand estimate in decisions/second.
+//
+//janus:hotpath
 func (d *demand) Observe(key string, now time.Time) float64 {
 	s := &d.shards[shardOf(key)]
 	s.mu.Lock()
@@ -69,7 +78,9 @@ func (d *demand) Observe(key string, now time.Time) float64 {
 		if len(s.keys) >= demandShardCap {
 			return 0 // full shard: leave the key server-arbitrated
 		}
+		//lint:ignore hotalloc first sight of a key creates its tracker entry; later decisions reuse it
 		e = &demandEntry{windowStart: now}
+		//lint:ignore hotalloc paired with the entry creation above — first sight only
 		s.keys[key] = e
 	}
 	e.count++

@@ -1,0 +1,167 @@
+package lease
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Race stress for the two concurrent structures the router hammers on every
+// admission: the sharded demand tracker (every Route observes demand) and the
+// lease table's epoch/lease state (SetEpoch invalidates concurrently with
+// Route admitting and Apply granting/revoking). The assertions are loose —
+// the point of the test is the interleaving itself, which `go test -race`
+// turns into a checked execution. A torn epoch read, an unsynchronized map
+// access in a demand shard, or a lease mutated while dropped would all
+// surface here as a race report or a panic.
+func TestTableRaceStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped in -short")
+	}
+	tbl := NewTable(TableConfig{HotRate: 1, Clock: time.Now})
+	tbl.SetEpoch(1)
+
+	// Keys spread across demand shards; a few are pre-leased so Route
+	// exercises the local-admission path, the rest churn through
+	// ask/fall-through.
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("stress-key-%02d", i)
+	}
+	for _, k := range keys[:8] {
+		tbl.Apply(k, wire.LeaseGrant{Op: wire.LeaseOpGrant, Rate: 1e6, Burst: 1e6, TTL: time.Minute, Epoch: 1})
+	}
+
+	// The run must outlast several demand windows (250ms each): a key only
+	// reads as hot — and Route only emits asks — after its first window rolls.
+	const (
+		routers  = 8
+		duration = 700 * time.Millisecond
+	)
+	var (
+		stop    atomic.Bool
+		decided atomic.Int64
+		asked   atomic.Int64
+		wg      sync.WaitGroup
+	)
+
+	// Admission traffic: every goroutine loops over all keys so every demand
+	// shard and every lease sees concurrent access.
+	for r := 0; r < routers; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := seed; !stop.Load(); i++ {
+				d := tbl.Route(keys[i%len(keys)], 1)
+				switch {
+				case d.Decided:
+					decided.Add(1)
+				case d.Ask.Op != 0:
+					asked.Add(1)
+				}
+			}
+		}(r)
+	}
+
+	// Epoch churn: monotonic bumps race with in-flight Route epoch checks and
+	// invalidate live leases mid-admission.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for e := uint64(2); !stop.Load(); e++ {
+			tbl.SetEpoch(e)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Grant/revoke churn: re-arm leases under the current epoch (racing the
+	// epoch bumper, so some grants are stillborn — that is the point) and
+	// revoke others, including cross-key revocations riding another key's
+	// response.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			k := keys[i%16]
+			if i%3 == 0 {
+				tbl.Apply(keys[(i+1)%len(keys)], wire.LeaseGrant{Op: wire.LeaseOpRevoke, Key: k})
+			} else {
+				tbl.Apply(k, wire.LeaseGrant{Op: wire.LeaseOpGrant, Rate: 1e6, Burst: 1e6, TTL: time.Minute, Epoch: tbl.currentEpoch()})
+			}
+			tbl.AskFailed(keys[i%len(keys)])
+		}
+	}()
+
+	// Demand reads race the Observe writes inside Route.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			tbl.demand.Rate(keys[i%len(keys)], time.Now())
+		}
+	}()
+
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+
+	if decided.Load() == 0 {
+		t.Error("no admission was ever served from a lease; the stress never exercised the local path")
+	}
+	if asked.Load() == 0 {
+		t.Error("no admission ever fell through with an ask; the stress never exercised the wire path")
+	}
+	if n := tbl.Len(); n > len(keys) {
+		t.Errorf("table holds %d leases for %d keys; drop/apply raced into duplication", n, len(keys))
+	}
+}
+
+// TestDemandShardRace drives Observe and Rate on colliding and non-colliding
+// keys from many goroutines while window rolls and idle sweeps fire, so the
+// per-shard locking (not the sharding itself) carries the safety argument.
+func TestDemandShardRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped in -short")
+	}
+	d := newDemand()
+	base := time.Now()
+	var clock atomic.Int64 // nanoseconds past base, advanced by the clock goroutine
+
+	now := func() time.Time { return base.Add(time.Duration(clock.Load())) }
+
+	var (
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	// Advance time fast enough to cross window (250ms), sweep (5s), and idle
+	// (10s) boundaries many times during the run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			clock.Add(int64(100 * time.Millisecond))
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := seed; !stop.Load(); i++ {
+				key := fmt.Sprintf("shard-race-%02d", i%32)
+				if r := d.Observe(key, now()); r < 0 {
+					t.Errorf("negative demand estimate %v for %s", r, key)
+					return
+				}
+				d.Rate(key, now())
+			}
+		}(g)
+	}
+	time.Sleep(150 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+}

@@ -85,6 +85,7 @@ func (t *Table) SetEpoch(epoch uint64) {
 	t.epoch.mu.Unlock()
 }
 
+//janus:hotpath
 func (t *Table) currentEpoch() uint64 {
 	t.epoch.mu.Lock()
 	defer t.epoch.mu.Unlock()
@@ -107,6 +108,8 @@ type Decision struct {
 // Route runs one admission through the table: it records demand, serves the
 // key from its lease when one is live, and otherwise tells the router what
 // lease operation (if any) to piggyback on the fall-through request.
+//
+//janus:hotpath
 func (t *Table) Route(key string, cost float64) Decision {
 	now := t.clock()
 	rate := t.demand.Observe(key, now)

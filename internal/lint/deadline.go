@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewDeadline requires every net.Conn / net.PacketConn read or write in
+// the daemon packages to run under a deadline. The transport's whole
+// latency story (paper §III-B: 100 µs × 5 retries) is built on *bounded*
+// socket operations; one undeadlined blocking call in a shutdown or
+// handoff path turns a dead peer into a hung daemon.
+//
+// A watched call is accepted when one of these holds:
+//
+//   - a Set*Deadline call appears earlier in the same function (the
+//     textual-dominance approximation of "a deadline is armed before the
+//     operation");
+//   - the enclosing function is annotated //janus:deadlined — the audited
+//     escape for loops that intentionally block forever and are unblocked
+//     by Close() (UDP accept-style readers), and for helpers whose callers
+//     armed the deadline. The annotation's doc comment must explain which
+//     mechanism bounds the call;
+//   - a //lint:ignore deadline directive with a reason covers the line.
+//
+// The receiver check is type-based: only methods on types from the net
+// package (or interfaces defined by it) are watched, so bytes.Buffer.Write
+// and friends never trip it.
+func NewDeadline() *Analyzer {
+	a := &Analyzer{
+		Name:  "deadline",
+		Doc:   "net conn reads/writes in daemon packages run under a deadline or an audited helper",
+		Scope: daemonScope,
+	}
+	a.Run = func(p *Pass) {
+		p.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+			decl := n.(*ast.FuncDecl)
+			if decl.Body == nil || p.Pkg.TypesInfo == nil {
+				return
+			}
+			if hasAnnotation(decl, annotationDeadlined) {
+				return // audited: the doc comment explains what bounds the I/O
+			}
+			// One pass collecting both deadline arms and watched I/O calls,
+			// in source order; nested literals belong to the enclosing
+			// function's audit unit, so they are not skipped.
+			type ioCall struct {
+				call *ast.CallExpr
+				name string
+			}
+			var armedAt token.Pos = -1
+			var calls []ioCall
+			ast.Inspect(decl.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if deadlineArmMethods[sel.Sel.Name] && isNetConnRecv(p.Pkg.TypesInfo, sel.X) {
+					if armedAt < 0 || call.Pos() < armedAt {
+						armedAt = call.Pos()
+					}
+					return true
+				}
+				if watchedConnIO[sel.Sel.Name] && isNetConnRecv(p.Pkg.TypesInfo, sel.X) {
+					calls = append(calls, ioCall{call, exprString(sel.X) + "." + sel.Sel.Name})
+				}
+				return true
+			})
+			for _, c := range calls {
+				if armedAt >= 0 && armedAt < c.call.Pos() {
+					continue // dominated (textually) by a deadline arm
+				}
+				p.Reportf(c.call.Pos(), "%s runs without a deadline: no Set*Deadline precedes it in this function; arm one, or annotate the function //janus:deadlined documenting what bounds the call",
+					c.name)
+			}
+		})
+	}
+	return a
+}
+
+var deadlineArmMethods = map[string]bool{
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+var watchedConnIO = map[string]bool{
+	"Read":                true,
+	"ReadFrom":            true,
+	"ReadFromUDP":         true,
+	"ReadFromUDPAddrPort": true,
+	"ReadMsgUDP":          true,
+	"Write":               true,
+	"WriteTo":             true,
+	"WriteToUDP":          true,
+	"WriteToUDPAddrPort":  true,
+	"WriteMsgUDP":         true,
+}
+
+// isNetConnRecv reports whether expr's type is declared in the net package
+// (concrete *net.UDPConn and friends, or the net.Conn / net.PacketConn
+// interfaces).
+func isNetConnRecv(info *types.Info, expr ast.Expr) bool {
+	t := info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "net"
+}

@@ -1,12 +1,11 @@
 package lint
 
 import (
-	"fmt"
 	"go/ast"
 	"go/types"
 )
 
-// ErrDrop flags silently discarded errors from Close, SetDeadline, and
+// NewErrDrop flags silently discarded errors from Close, SetDeadline, and
 // Write-family calls in the networking hot paths (internal/transport,
 // internal/router, internal/qosserver). The UDP discipline is deliberately
 // fire-and-forget at the protocol level — the router retries — but a
@@ -25,14 +24,32 @@ import (
 //     its error has no receiver. Deferring the other methods is flagged.
 //   - An explicit `_ = x.Close()` (or `_, _ = x.Write(p)`) is allowed — the
 //     discard is visible and auditable, which is the point.
-type ErrDrop struct{}
-
-// Name implements Analyzer.
-func (ErrDrop) Name() string { return "errdrop" }
-
-// Doc implements Analyzer.
-func (ErrDrop) Doc() string {
-	return "no silently discarded Close/SetDeadline/Write errors in transport hot paths"
+func NewErrDrop() *Analyzer {
+	a := &Analyzer{
+		Name:  "errdrop",
+		Doc:   "no silently discarded Close/SetDeadline/Write errors in transport hot paths",
+		Scope: errDropScope,
+	}
+	a.Run = func(p *Pass) {
+		p.Preorder([]ast.Node{(*ast.ExprStmt)(nil), (*ast.DeferStmt)(nil)}, func(n ast.Node) {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					if name, bad := dropsError(p.Pkg, call); bad {
+						p.Reportf(call.Pos(), "error from %s is silently discarded; handle it, count it, or discard explicitly with `_ =`",
+							name)
+					}
+				}
+			case *ast.DeferStmt:
+				name, bad := dropsError(p.Pkg, st.Call)
+				if bad && !isCloseCall(st.Call) {
+					p.Reportf(st.Call.Pos(), "deferred %s discards its error; only `defer x.Close()` is exempt",
+						name)
+				}
+			}
+		})
+	}
+	return a
 }
 
 // errDropScope lists the module-relative packages checked.
@@ -55,45 +72,6 @@ var errDropMethods = map[string]bool{
 	"WriteToUDP":       true,
 }
 
-// Analyze implements Analyzer.
-func (a ErrDrop) Analyze(prog *Program) []Finding {
-	var out []Finding
-	for _, pkg := range prog.Packages {
-		if !inScope(pkg, errDropScope) {
-			continue
-		}
-		for _, file := range pkg.Files {
-			ast.Inspect(file, func(n ast.Node) bool {
-				switch st := n.(type) {
-				case *ast.ExprStmt:
-					if call, ok := st.X.(*ast.CallExpr); ok {
-						if name, bad := a.dropsError(pkg, call); bad {
-							out = append(out, Finding{
-								Analyzer: a.Name(),
-								Pos:      prog.Fset.Position(call.Pos()),
-								Message: fmt.Sprintf("error from %s is silently discarded; handle it, count it, or discard explicitly with `_ =`",
-									name),
-							})
-						}
-					}
-				case *ast.DeferStmt:
-					name, bad := a.dropsError(pkg, st.Call)
-					if bad && !isCloseCall(st.Call) {
-						out = append(out, Finding{
-							Analyzer: a.Name(),
-							Pos:      prog.Fset.Position(st.Call.Pos()),
-							Message: fmt.Sprintf("deferred %s discards its error; only `defer x.Close()` is exempt",
-								name),
-						})
-					}
-				}
-				return true
-			})
-		}
-	}
-	return out
-}
-
 func isCloseCall(call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	return ok && sel.Sel.Name == "Close"
@@ -103,7 +81,7 @@ func isCloseCall(call *ast.CallExpr) bool {
 // result includes an error. With type information the signature decides;
 // without it (fixture packages, partial checks) the method name alone
 // decides.
-func (ErrDrop) dropsError(pkg *Package, call *ast.CallExpr) (string, bool) {
+func dropsError(pkg *Package, call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || !errDropMethods[sel.Sel.Name] {
 		return "", false

@@ -1,14 +1,13 @@
 package lint
 
 import (
-	"fmt"
 	"go/ast"
 	"go/token"
 	"strconv"
 	"strings"
 )
 
-// FailpointSite guards the failpoint registry's structural invariants
+// NewFailpointSite guards the failpoint registry's structural invariants
 // (internal/failpoint). The registry panics at runtime on a duplicate name,
 // but only when both sites' packages are linked into the same binary — a
 // duplicate across two daemons would never trip in tests while still
@@ -26,80 +25,62 @@ import (
 //   - every call initializes a package-level var, which is what makes
 //     registration one-time and the disarmed gate a single atomic load on a
 //     package singleton.
-type FailpointSite struct{}
-
-// Name implements Analyzer.
-func (FailpointSite) Name() string { return "failpointsite" }
-
-// Doc implements Analyzer.
-func (FailpointSite) Doc() string {
-	return "every failpoint name is a literal, well-formed, and registered at exactly one package-level site"
-}
-
-// Analyze implements Analyzer.
-func (a FailpointSite) Analyze(prog *Program) []Finding {
-	var out []Finding
-	seen := make(map[string]token.Position) // name -> first site
-	for _, pkg := range prog.Packages {
-		for _, file := range pkg.Files {
-			topLevel := a.packageLevelNewCalls(pkg, file)
-			ast.Inspect(file, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok || !a.isNewCall(pkg, file, call) {
-					return true
-				}
-				pos := prog.Fset.Position(call.Pos())
-				if !topLevel[call] {
-					out = append(out, Finding{
-						Analyzer: a.Name(),
-						Pos:      pos,
-						Message:  "failpoint.New must initialize a package-level var; in-function registration defeats one-time registration and the zero-cost disarmed gate",
-					})
-				}
-				if len(call.Args) != 1 {
-					return true // does not compile against the real API; nothing more to check
-				}
-				lit, ok := call.Args[0].(*ast.BasicLit)
-				if !ok || lit.Kind != token.STRING {
-					out = append(out, Finding{
-						Analyzer: a.Name(),
-						Pos:      pos,
-						Message:  "failpoint.New argument must be a quoted string literal so the site inventory is static",
-					})
-					return true
-				}
-				name, err := strconv.Unquote(lit.Value)
-				if err != nil {
-					return true
-				}
-				if !validFailpointName(name) {
-					out = append(out, Finding{
-						Analyzer: a.Name(),
-						Pos:      pos,
-						Message: fmt.Sprintf("failpoint name %q violates the site convention: want 2+ slash-separated segments of [a-z0-9-], e.g. \"qosserver/ha/pull\"",
-							name),
-					})
-				}
-				if prev, dup := seen[name]; dup {
-					out = append(out, Finding{
-						Analyzer: a.Name(),
-						Pos:      pos,
-						Message: fmt.Sprintf("failpoint name %q already registered at %s:%d; each name must have exactly one code site",
-							name, prev.Filename, prev.Line),
-					})
-				} else {
-					seen[name] = pos
-				}
-				return true
-			})
-		}
+//
+// The duplicate-site map spans packages, so the analyzer carries state
+// across Run calls — construct a fresh instance per lint.Run (Analyzers
+// does).
+func NewFailpointSite() *Analyzer {
+	a := &Analyzer{
+		Name: "failpointsite",
+		Doc:  "every failpoint name is a literal, well-formed, and registered at exactly one package-level site",
 	}
-	return out
+	seen := make(map[string]token.Position) // name -> first site, module-wide
+	a.Run = func(p *Pass) {
+		topLevelByFile := make(map[*ast.File]map[*ast.CallExpr]bool)
+		p.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+			call := n.(*ast.CallExpr)
+			if !isFailpointNewCall(p.Pkg, p.File, call) {
+				return
+			}
+			topLevel, ok := topLevelByFile[p.File]
+			if !ok {
+				topLevel = packageLevelNewCalls(p.Pkg, p.File)
+				topLevelByFile[p.File] = topLevel
+			}
+			pos := p.Prog.Fset.Position(call.Pos())
+			if !topLevel[call] {
+				p.Reportf(call.Pos(), "failpoint.New must initialize a package-level var; in-function registration defeats one-time registration and the zero-cost disarmed gate")
+			}
+			if len(call.Args) != 1 {
+				return // does not compile against the real API; nothing more to check
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				p.Reportf(call.Pos(), "failpoint.New argument must be a quoted string literal so the site inventory is static")
+				return
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return
+			}
+			if !validFailpointName(name) {
+				p.Reportf(call.Pos(), "failpoint name %q violates the site convention: want 2+ slash-separated segments of [a-z0-9-], e.g. \"qosserver/ha/pull\"",
+					name)
+			}
+			if prev, dup := seen[name]; dup {
+				p.Reportf(call.Pos(), "failpoint name %q already registered at %s:%d; each name must have exactly one code site",
+					name, prev.Filename, prev.Line)
+			} else {
+				seen[name] = pos
+			}
+		})
+	}
+	return a
 }
 
 // packageLevelNewCalls collects the failpoint.New calls that appear as
 // package-level var initializers in file.
-func (a FailpointSite) packageLevelNewCalls(pkg *Package, file *ast.File) map[*ast.CallExpr]bool {
+func packageLevelNewCalls(pkg *Package, file *ast.File) map[*ast.CallExpr]bool {
 	top := make(map[*ast.CallExpr]bool)
 	for _, decl := range file.Decls {
 		gd, ok := decl.(*ast.GenDecl)
@@ -112,7 +93,7 @@ func (a FailpointSite) packageLevelNewCalls(pkg *Package, file *ast.File) map[*a
 				continue
 			}
 			for _, v := range vs.Values {
-				if call, ok := v.(*ast.CallExpr); ok && a.isNewCall(pkg, file, call) {
+				if call, ok := v.(*ast.CallExpr); ok && isFailpointNewCall(pkg, file, call) {
 					top[call] = true
 				}
 			}
@@ -121,11 +102,11 @@ func (a FailpointSite) packageLevelNewCalls(pkg *Package, file *ast.File) map[*a
 	return top
 }
 
-// isNewCall reports whether call is failpoint.New from the failpoint
-// package. Resolution prefers type information and degrades to the file's
-// import table (fixture packages load without a resolvable failpoint
-// import).
-func (FailpointSite) isNewCall(pkg *Package, file *ast.File, call *ast.CallExpr) bool {
+// isFailpointNewCall reports whether call is failpoint.New from the
+// failpoint package. Resolution prefers type information and degrades to
+// the file's import table (fixture packages load without a resolvable
+// failpoint import).
+func isFailpointNewCall(pkg *Package, file *ast.File, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || sel.Sel.Name != "New" {
 		return false

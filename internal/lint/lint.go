@@ -20,11 +20,26 @@
 //   - the fault-injection registry (internal/failpoint) is only trustworthy
 //     when each failpoint name maps to exactly one literal, package-level
 //     code site — a duplicated or dynamic name makes chaos specs lie about
-//     which seam they perturb.
+//     which seam they perturb;
+//   - the decision path (//janus:hotpath functions) must stay free of heap
+//     allocations, every goroutine a daemon package spawns must have a
+//     provable stop path, and every socket read/write must either run under
+//     a deadline or through an audited helper — see hotalloc.go, goleak.go,
+//     deadline.go and the dataflow layer in dataflow.go.
 //
 // Each invariant gets a dedicated analyzer: simclock, lockdiscipline,
-// wirecompat, errdrop, and failpointsite. See their files for the precise
-// rules and the documented approximations.
+// wirecompat, errdrop, failpointsite, hotalloc, goleak, and deadline. See
+// their files for the precise rules and the documented approximations.
+//
+// # Architecture
+//
+// Analyzers follow the golang.org/x/tools/go/analysis shape without the
+// dependency: an Analyzer is a value with a Name, a Doc line, an optional
+// package Scope, and a Run hook that registers node callbacks on a Pass.
+// The driver walks every file of every in-scope package exactly once and
+// dispatches each node to the callbacks registered for its concrete type,
+// so adding an analyzer adds no walks. Whole-module analyses (wirecompat)
+// use the RunModule hook instead.
 //
 // # Suppressions
 //
@@ -44,6 +59,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 	"sort"
 	"strings"
 )
@@ -63,46 +79,205 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
-// Analyzer is one project-specific check run over a loaded Program.
-type Analyzer interface {
+// Analyzer is one project-specific check. Exactly one of Run and RunModule
+// is typically set: Run is invoked once per in-scope package and registers
+// node callbacks on the shared walker; RunModule is invoked once per
+// Program for whole-module analyses.
+//
+// Analyzer values carry per-run state in their hook closures (the
+// failpointsite duplicate map, for example), so construct a fresh suite via
+// Analyzers or the New* constructors for every Run call.
+type Analyzer struct {
 	// Name is the identifier used in output and //lint:ignore directives.
-	Name() string
+	Name string
 	// Doc is a one-line description of the invariant the analyzer guards.
-	Doc() string
-	// Analyze reports violations found in prog.
-	Analyze(prog *Program) []Finding
+	Doc string
+	// Scope restricts Run to packages whose import path ends with one of
+	// these module-relative paths ("internal/des"); nil means every package.
+	Scope []string
+	// Run registers callbacks for one package.
+	Run func(*Pass)
+	// RunModule analyzes the whole Program at once.
+	RunModule func(*ModulePass)
 }
 
-// Analyzers returns the full suite. manifestPath overrides the wirecompat
-// golden manifest location; "" uses DefaultManifestPath under the module
-// root.
-func Analyzers(manifestPath string) []Analyzer {
-	return []Analyzer{
-		SimClock{},
-		LockDiscipline{},
-		WireCompat{ManifestPath: manifestPath},
-		ErrDrop{},
-		FailpointSite{},
+// Pass carries one analyzer's view of one package. Run hooks call Preorder
+// and AfterFiles to register work; the driver owns the walk.
+type Pass struct {
+	Prog *Program
+	Pkg  *Package
+	// File is the file owning the node currently being visited; it is only
+	// valid inside Preorder callbacks.
+	File *ast.File
+
+	analyzer *Analyzer
+	runner   *runner
+	handlers []handler
+	after    []func()
+}
+
+type handler struct {
+	// types is the set of concrete node types the callback wants; nil means
+	// every node.
+	types map[reflect.Type]bool
+	fn    func(ast.Node)
+}
+
+// Preorder registers fn to be called for every node in the package whose
+// concrete type matches one of the exemplars (e.g. (*ast.CallExpr)(nil)).
+// An empty exemplar list matches every node. Nodes arrive in preorder,
+// interleaved with every other analyzer's callbacks, during the single
+// shared walk.
+func (p *Pass) Preorder(exemplars []ast.Node, fn func(ast.Node)) {
+	var tm map[reflect.Type]bool
+	if len(exemplars) > 0 {
+		tm = make(map[reflect.Type]bool, len(exemplars))
+		for _, ex := range exemplars {
+			tm[reflect.TypeOf(ex)] = true
+		}
+	}
+	p.handlers = append(p.handlers, handler{types: tm, fn: fn})
+}
+
+// AfterFiles registers fn to run after every file of the package has been
+// walked — the hook for two-phase checks that correlate facts collected by
+// Preorder callbacks.
+func (p *Pass) AfterFiles(fn func()) { p.after = append(p.after, fn) }
+
+// Reportf records a finding at pos attributed to the pass's analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.runner.report(p.analyzer.Name, p.Prog.Fset.Position(pos), format, args...)
+}
+
+// Suppressed reports whether a finding by the named analyzer at pos would
+// be silenced by a //lint:ignore directive. Analyzers that summarize other
+// functions (hotalloc's one-level call summaries) use this to honor
+// suppressions inside the summarized body.
+func (p *Pass) Suppressed(analyzer string, pos token.Pos) bool {
+	posn := p.Prog.Fset.Position(pos)
+	return p.runner.sup.suppresses(Finding{Analyzer: analyzer, Pos: posn})
+}
+
+// ModulePass carries one analyzer's view of the whole Program.
+type ModulePass struct {
+	Prog *Program
+
+	analyzer *Analyzer
+	runner   *runner
+}
+
+// Reportf records a finding at pos attributed to the pass's analyzer.
+func (mp *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	mp.runner.report(mp.analyzer.Name, mp.Prog.Fset.Position(pos), format, args...)
+}
+
+// ReportAt is Reportf for positions that do not come from the FileSet (the
+// wirecompat manifest file).
+func (mp *ModulePass) ReportAt(pos token.Position, format string, args ...any) {
+	mp.runner.report(mp.analyzer.Name, pos, format, args...)
+}
+
+// Suppressed mirrors Pass.Suppressed.
+func (mp *ModulePass) Suppressed(analyzer string, pos token.Pos) bool {
+	posn := mp.Prog.Fset.Position(pos)
+	return mp.runner.sup.suppresses(Finding{Analyzer: analyzer, Pos: posn})
+}
+
+// runner is the shared per-Run state: the suppression table and the finding
+// sink every pass reports into.
+type runner struct {
+	sup      suppressions
+	findings []Finding
+}
+
+func (r *runner) report(analyzer string, pos token.Position, format string, args ...any) {
+	r.findings = append(r.findings, Finding{Analyzer: analyzer, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzers returns a fresh full suite. manifestPath overrides the
+// wirecompat golden manifest location; "" uses DefaultManifestPath under
+// the module root.
+func Analyzers(manifestPath string) []*Analyzer {
+	return []*Analyzer{
+		NewSimClock(),
+		NewLockDiscipline(),
+		NewWireCompat(manifestPath),
+		NewErrDrop(),
+		NewFailpointSite(),
+		NewHotAlloc(),
+		NewGoLeak(),
+		NewDeadline(),
 	}
 }
 
 // Run executes the analyzers over prog, drops suppressed findings, reports
 // malformed suppression directives, and returns the remainder sorted by
 // position.
-func Run(prog *Program, analyzers []Analyzer) []Finding {
+func Run(prog *Program, analyzers []*Analyzer) []Finding {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
-		known[a.Name()] = true
+		known[a.Name] = true
 	}
 	sup, bad := collectDirectives(prog, known)
-	out := bad
-	for _, a := range analyzers {
-		for _, f := range a.Analyze(prog) {
-			if sup.suppresses(f) {
+	r := &runner{sup: sup, findings: bad}
+
+	for _, pkg := range prog.Packages {
+		var passes []*Pass
+		for _, a := range analyzers {
+			if a.Run == nil {
 				continue
 			}
-			out = append(out, f)
+			if a.Scope != nil && !inScope(pkg, a.Scope) {
+				continue
+			}
+			p := &Pass{Prog: prog, Pkg: pkg, analyzer: a, runner: r}
+			a.Run(p)
+			if len(p.handlers) > 0 || len(p.after) > 0 {
+				passes = append(passes, p)
+			}
 		}
+		if len(passes) == 0 {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, p := range passes {
+				p.File = file
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				if n == nil {
+					return true
+				}
+				t := reflect.TypeOf(n)
+				for _, p := range passes {
+					for _, h := range p.handlers {
+						if h.types == nil || h.types[t] {
+							h.fn(n)
+						}
+					}
+				}
+				return true
+			})
+		}
+		for _, p := range passes {
+			p.File = nil
+			for _, fn := range p.after {
+				fn()
+			}
+		}
+	}
+
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			a.RunModule(&ModulePass{Prog: prog, analyzer: a, runner: r})
+		}
+	}
+
+	out := make([]Finding, 0, len(r.findings))
+	for _, f := range r.findings {
+		if sup.suppresses(f) {
+			continue
+		}
+		out = append(out, f)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

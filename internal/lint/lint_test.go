@@ -53,7 +53,7 @@ func renderFindings(fs []Finding) string {
 
 func TestSimClockFixture(t *testing.T) {
 	prog := loadFixture(t, "simclockbad", "repro/internal/sim")
-	got := Run(prog, []Analyzer{SimClock{}})
+	got := Run(prog, []*Analyzer{NewSimClock()})
 	if len(got) != 5 {
 		t.Errorf("want 5 simclock findings, got %d:\n%s", len(got), renderFindings(got))
 	}
@@ -70,25 +70,26 @@ func TestSimClockFixture(t *testing.T) {
 
 func TestSimClockOutOfScopePackageIsIgnored(t *testing.T) {
 	prog := loadFixture(t, "simclockbad", "repro/internal/store")
-	if got := Run(prog, []Analyzer{SimClock{}}); len(got) != 0 {
+	if got := Run(prog, []*Analyzer{NewSimClock()}); len(got) != 0 {
 		t.Errorf("out-of-scope package should produce no findings, got:\n%s", renderFindings(got))
 	}
 }
 
 func TestLockDisciplineFixture(t *testing.T) {
 	prog := loadFixture(t, "lockbad", "repro/internal/lockbad")
-	got := Run(prog, []Analyzer{LockDiscipline{}})
-	if len(got) != 3 {
-		t.Errorf("want 3 lockdiscipline findings, got %d:\n%s", len(got), renderFindings(got))
+	got := Run(prog, []*Analyzer{NewLockDiscipline()})
+	if len(got) != 4 {
+		t.Errorf("want 4 lockdiscipline findings, got %d:\n%s", len(got), renderFindings(got))
 	}
 	wantFindingAt(t, got, 20, "c.mu.Lock() has no matching Unlock")
 	wantFindingAt(t, got, 26, "c.rw.RLock() has no matching RUnlock")
 	wantFindingAt(t, got, 63, "mixed access races")
+	wantFindingAt(t, got, 80, "defer c.mu.Unlock() inside a loop body")
 }
 
 func TestErrDropFixture(t *testing.T) {
 	prog := loadFixture(t, "errdropbad", "repro/internal/transport")
-	got := Run(prog, []Analyzer{ErrDrop{}})
+	got := Run(prog, []*Analyzer{NewErrDrop()})
 	if len(got) != 4 {
 		t.Errorf("want 4 errdrop findings, got %d:\n%s", len(got), renderFindings(got))
 	}
@@ -100,7 +101,7 @@ func TestErrDropFixture(t *testing.T) {
 
 func TestErrDropOutOfScopePackageIsIgnored(t *testing.T) {
 	prog := loadFixture(t, "errdropbad", "repro/internal/metrics")
-	if got := Run(prog, []Analyzer{ErrDrop{}}); len(got) != 0 {
+	if got := Run(prog, []*Analyzer{NewErrDrop()}); len(got) != 0 {
 		t.Errorf("out-of-scope package should produce no findings, got:\n%s", renderFindings(got))
 	}
 }
@@ -114,7 +115,7 @@ func TestFailpointSiteFixture(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := Run(prog, []Analyzer{FailpointSite{}})
+	got := Run(prog, []*Analyzer{NewFailpointSite()})
 	if len(got) != 5 {
 		t.Errorf("want 5 failpointsite findings, got %d:\n%s", len(got), renderFindings(got))
 	}
@@ -157,13 +158,13 @@ func TestWireCompatTripsOnFieldReorder(t *testing.T) {
 	}
 
 	// The baseline matches its own manifest.
-	if got := Run(good, []Analyzer{WireCompat{ManifestPath: manifest}}); len(got) != 0 {
+	if got := Run(good, []*Analyzer{NewWireCompat(manifest)}); len(got) != 0 {
 		t.Fatalf("baseline should be clean, got:\n%s", renderFindings(got))
 	}
 
 	// The reordered copy trips.
 	bad := loadFixture(t, "wirebad", "repro/internal/wire")
-	got := Run(bad, []Analyzer{WireCompat{ManifestPath: manifest}})
+	got := Run(bad, []*Analyzer{NewWireCompat(manifest)})
 	if len(got) != 1 {
 		t.Fatalf("want exactly 1 wirecompat finding for the reordered struct, got %d:\n%s", len(got), renderFindings(got))
 	}
@@ -174,7 +175,7 @@ func TestWireCompatTripsOnFieldReorder(t *testing.T) {
 
 func TestWireCompatMissingManifestIsAFinding(t *testing.T) {
 	good := loadFixture(t, "wiregood", "repro/internal/wire")
-	got := Run(good, []Analyzer{WireCompat{ManifestPath: filepath.Join(t.TempDir(), "absent.golden")}})
+	got := Run(good, []*Analyzer{NewWireCompat(filepath.Join(t.TempDir(), "absent.golden"))})
 	if len(got) != 1 || !strings.Contains(got[0].Message, "cannot read golden wire manifest") {
 		t.Errorf("want a missing-manifest finding, got:\n%s", renderFindings(got))
 	}

@@ -45,6 +45,9 @@ type Program struct {
 	Packages   []*Package
 
 	byPath map[string]*Package
+	// funcs indexes every top-level FuncDecl by its types.Func object; built
+	// lazily by funcIndex (dataflow.go) and shared by the dataflow analyzers.
+	funcs map[types.Object]funcDeclInfo
 }
 
 // PackageByPath returns the loaded package with the given import path, or

@@ -8,7 +8,7 @@ import (
 	"go/token"
 )
 
-// LockDiscipline enforces the two locking rules the leaky-bucket credit
+// NewLockDiscipline enforces the locking rules the leaky-bucket credit
 // model depends on (paper §II-C eq. 1–2: refill and consume must serialize,
 // or concurrent interleavings mint credit out of thin air):
 //
@@ -28,58 +28,118 @@ import (
 //     race even under a mutex, because the atomic side does not acquire it.
 //     Fields of the typed atomic.* wrappers are immune by construction and
 //     are not flagged. Matching is by field name within one package.
-type LockDiscipline struct{}
-
-// Name implements Analyzer.
-func (LockDiscipline) Name() string { return "lockdiscipline" }
-
-// Doc implements Analyzer.
-func (LockDiscipline) Doc() string {
-	return "locks must be released (prefer defer); no mixed atomic/plain field access"
-}
-
-var unlockFor = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
-
-// Analyze implements Analyzer.
-func (a LockDiscipline) Analyze(prog *Program) []Finding {
-	var out []Finding
-	for _, pkg := range prog.Packages {
-		out = append(out, a.checkLockPairs(prog, pkg)...)
-		out = append(out, a.checkMixedAtomics(prog, pkg)...)
+//
+//  3. `defer mu.Unlock()` lexically inside a for/range body is flagged: the
+//     deferred call runs at *function* exit, not iteration exit, so the
+//     second iteration's Lock deadlocks against the first iteration's
+//     still-pending Unlock (or, with separate locks, the function exits
+//     holding every lock it ever took). A defer inside a function literal
+//     inside the loop is fine — it runs when the literal returns.
+func NewLockDiscipline() *Analyzer {
+	a := &Analyzer{
+		Name: "lockdiscipline",
+		Doc:  "locks must be released (prefer defer; never defer-unlock inside a loop); no mixed atomic/plain field access",
 	}
-	return out
-}
-
-func (a LockDiscipline) checkLockPairs(prog *Program, pkg *Package) []Finding {
-	var out []Finding
-	for _, file := range pkg.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
+	a.Run = func(p *Pass) {
+		// Rule 1: the walker visits nested function literals on its own, so
+		// registering both decl and literal nodes covers every function body
+		// exactly once.
+		p.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
 			var body *ast.BlockStmt
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				body = fn.Body
 			case *ast.FuncLit:
 				body = fn.Body
-			default:
-				return true
 			}
-			if body == nil {
-				return true
+			if body != nil {
+				checkLockPairs(p, body)
 			}
-			out = append(out, a.checkFuncBody(prog, pkg, body)...)
-			return true
+		})
+
+		// Rule 3: defer-unlock inside a loop body.
+		p.Preorder([]ast.Node{(*ast.ForStmt)(nil), (*ast.RangeStmt)(nil)}, func(n ast.Node) {
+			var body *ast.BlockStmt
+			switch s := n.(type) {
+			case *ast.ForStmt:
+				body = s.Body
+			case *ast.RangeStmt:
+				body = s.Body
+			}
+			if body != nil {
+				checkDeferInLoop(p, n, body)
+			}
+		})
+
+		// Rule 2 is two-phase: collect atomically-accessed fields and plain
+		// writes during the walk, correlate after all files are seen (the
+		// atomic site may be in a different file of the package).
+		atomicFields := make(map[string]token.Position)
+		type plainWrite struct {
+			name string
+			pos  token.Pos
+		}
+		var writes []plainWrite
+
+		p.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+			call := n.(*ast.CallExpr)
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || importedPath(p.Pkg, p.File, id) != "sync/atomic" {
+				return
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if fsel, ok := un.X.(*ast.SelectorExpr); ok {
+					name := fsel.Sel.Name
+					if _, seen := atomicFields[name]; !seen {
+						atomicFields[name] = p.Prog.Fset.Position(un.Pos())
+					}
+				}
+			}
+		})
+		p.Preorder([]ast.Node{(*ast.AssignStmt)(nil), (*ast.IncDecStmt)(nil)}, func(n ast.Node) {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					if sel, ok := lhs.(*ast.SelectorExpr); ok {
+						writes = append(writes, plainWrite{sel.Sel.Name, sel.Pos()})
+					}
+				}
+			case *ast.IncDecStmt:
+				if sel, ok := st.X.(*ast.SelectorExpr); ok {
+					writes = append(writes, plainWrite{sel.Sel.Name, sel.Pos()})
+				}
+			}
+		})
+		p.AfterFiles(func() {
+			for _, w := range writes {
+				atomicAt, ok := atomicFields[w.name]
+				if !ok {
+					continue
+				}
+				p.Reportf(w.pos, "field %q is written non-atomically here but accessed via sync/atomic at %s:%d; mixed access races",
+					w.name, atomicAt.Filename, atomicAt.Line)
+			}
 		})
 	}
-	return out
+	return a
 }
 
-// checkFuncBody scans one function body for Lock calls. Nested function
-// literals are analysis units of their own (the outer walk visits them), so
-// the statement scan does not descend into them — but the search for a
-// matching Unlock does, because releasing inside a deferred closure or a
-// spawned goroutine is legitimate.
-func (a LockDiscipline) checkFuncBody(prog *Program, pkg *Package, body *ast.BlockStmt) []Finding {
-	var out []Finding
+var unlockFor = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+// checkLockPairs scans one function body for Lock calls (rule 1). Nested
+// function literals are analysis units of their own (the outer walk visits
+// them), so the statement scan does not descend into them — but the search
+// for a matching Unlock does, because releasing inside a deferred closure
+// or a spawned goroutine is legitimate.
+func checkLockPairs(p *Pass, body *ast.BlockStmt) {
 	var walkStmts func(list []ast.Stmt)
 	visitNested := func(s ast.Stmt) {
 		ast.Inspect(s, func(n ast.Node) bool {
@@ -107,16 +167,39 @@ func (a LockDiscipline) checkFuncBody(prog *Program, pkg *Package, body *ast.Blo
 			if hasLaterUnlock(body, s.End(), recv, want) {
 				continue
 			}
-			out = append(out, Finding{
-				Analyzer: a.Name(),
-				Pos:      prog.Fset.Position(s.Pos()),
-				Message: fmt.Sprintf("%s.%s() has no matching %s in this function; add `defer %s.%s()` or release on every path",
-					recv, method, want, recv, want),
-			})
+			p.Reportf(s.Pos(), "%s.%s() has no matching %s in this function; add `defer %s.%s()` or release on every path",
+				recv, method, want, recv, want)
 		}
 	}
 	walkStmts(body.List)
-	return out
+}
+
+// checkDeferInLoop flags `defer mu.Unlock()` statements lexically inside
+// the given loop body (rule 3). Nested loops report through their own
+// Preorder visit, and function literals start a fresh defer scope, so both
+// are skipped here.
+func checkDeferInLoop(p *Pass, loop ast.Node, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch m := n.(type) {
+		case *ast.FuncLit:
+			return false // defers in a literal run at the literal's exit
+		case *ast.ForStmt, *ast.RangeStmt:
+			if m != loop {
+				return false // the nested loop's own visit covers it
+			}
+		case *ast.DeferStmt:
+			sel, ok := m.Call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock" {
+				recv := exprString(sel.X)
+				p.Reportf(m.Pos(), "defer %s.%s() inside a loop body runs at function exit, not iteration exit — the next iteration's Lock deadlocks; unlock explicitly or move the loop body into a function",
+					recv, sel.Sel.Name)
+			}
+		}
+		return true
+	})
 }
 
 // lockCall matches `recv.Lock()` / `recv.RLock()` expression statements and
@@ -173,77 +256,6 @@ func hasLaterUnlock(body *ast.BlockStmt, after token.Pos, recv, method string) b
 		return true
 	})
 	return found
-}
-
-// checkMixedAtomics implements rule 2.
-func (a LockDiscipline) checkMixedAtomics(prog *Program, pkg *Package) []Finding {
-	// Pass 1: fields whose address is taken by a sync/atomic call.
-	atomicFields := make(map[string]token.Position)
-	for _, file := range pkg.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			id, ok := sel.X.(*ast.Ident)
-			if !ok || importedPath(pkg, file, id) != "sync/atomic" {
-				return true
-			}
-			for _, arg := range call.Args {
-				un, ok := arg.(*ast.UnaryExpr)
-				if !ok || un.Op != token.AND {
-					continue
-				}
-				if fsel, ok := un.X.(*ast.SelectorExpr); ok {
-					name := fsel.Sel.Name
-					if _, seen := atomicFields[name]; !seen {
-						atomicFields[name] = prog.Fset.Position(un.Pos())
-					}
-				}
-			}
-			return true
-		})
-	}
-	if len(atomicFields) == 0 {
-		return nil
-	}
-	// Pass 2: plain writes to those fields.
-	var out []Finding
-	flag := func(sel *ast.SelectorExpr) {
-		name := sel.Sel.Name
-		atomicAt, ok := atomicFields[name]
-		if !ok {
-			return
-		}
-		out = append(out, Finding{
-			Analyzer: a.Name(),
-			Pos:      prog.Fset.Position(sel.Pos()),
-			Message: fmt.Sprintf("field %q is written non-atomically here but accessed via sync/atomic at %s:%d; mixed access races",
-				name, atomicAt.Filename, atomicAt.Line),
-		})
-	}
-	for _, file := range pkg.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			switch st := n.(type) {
-			case *ast.AssignStmt:
-				for _, lhs := range st.Lhs {
-					if sel, ok := lhs.(*ast.SelectorExpr); ok {
-						flag(sel)
-					}
-				}
-			case *ast.IncDecStmt:
-				if sel, ok := st.X.(*ast.SelectorExpr); ok {
-					flag(sel)
-				}
-			}
-			return true
-		})
-	}
-	return out
 }
 
 // exprString renders an expression compactly ("s.mu", "t.shards[i].mu").

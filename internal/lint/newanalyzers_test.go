@@ -1,0 +1,94 @@
+package lint
+
+import "testing"
+
+// TestHotAllocFixture walks the allocation taxonomy: each positive case in
+// the fixture is one class of heap allocation inside a //janus:hotpath
+// function, and the negatives prove stack-only code, amortized appends,
+// and suppressed sites (inline and in callee summaries) stay silent.
+func TestHotAllocFixture(t *testing.T) {
+	prog := loadFixture(t, "hotallocbad", "repro/internal/hotallocbad")
+	got := Run(prog, []*Analyzer{NewHotAlloc()})
+	if len(got) != 10 {
+		t.Errorf("want 10 hotalloc findings, got %d:\n%s", len(got), renderFindings(got))
+	}
+	wantFindingAt(t, got, 23, "escaping composite literal")
+	wantFindingAt(t, got, 28, "make allocates")
+	wantFindingAt(t, got, 29, "map assignment may grow the map")
+	wantFindingAt(t, got, 29, "escaping composite literal")
+	wantFindingAt(t, got, 39, "conversion copies and allocates")
+	wantFindingAt(t, got, 45, "fmt.Errorf formats and allocates")
+	wantFindingAt(t, got, 53, "append to a provably empty local slice")
+	wantFindingAt(t, got, 59, "function literal captures variables")
+	wantFindingAt(t, got, 64, "go statement allocates a goroutine")
+	wantFindingAt(t, got, 93, "call to coldHelper allocates")
+	for _, f := range got {
+		switch f.Pos.Line {
+		case 73, 74, 75, 82, 105, 111, 116, 117:
+			t.Errorf("unexpected finding on negative-case line %d: %s", f.Pos.Line, f.Message)
+		}
+	}
+}
+
+// TestHotAllocExemptConversions pins the map-index and comparison
+// exemptions: the only conversion finding in the fixture's conversions()
+// is the returned string(k), not the exempt uses on earlier lines.
+func TestHotAllocExemptConversions(t *testing.T) {
+	prog := loadFixture(t, "hotallocbad", "repro/internal/hotallocbad")
+	got := Run(prog, []*Analyzer{NewHotAlloc()})
+	for _, f := range got {
+		if f.Pos.Line == 35 || f.Pos.Line == 36 {
+			t.Errorf("conversion exemption failed at line %d: %s", f.Pos.Line, f.Message)
+		}
+	}
+}
+
+func TestGoLeakFixture(t *testing.T) {
+	prog := loadFixture(t, "goleakbad", "repro/internal/transport")
+	got := Run(prog, []*Analyzer{NewGoLeak()})
+	if len(got) != 2 {
+		t.Errorf("want 2 goleak findings, got %d:\n%s", len(got), renderFindings(got))
+	}
+	wantFindingAt(t, got, 16, "no provable stop path")
+	wantFindingAt(t, got, 59, "not statically resolvable")
+	for _, f := range got {
+		switch f.Pos.Line {
+		case 27, 42, 54, 65:
+			t.Errorf("unexpected finding on negative-case line %d: %s", f.Pos.Line, f.Message)
+		}
+	}
+}
+
+// TestGoLeakScope proves the analyzer only fires in daemon packages: the
+// same fixture loaded under a simulation import path is silent.
+func TestGoLeakScope(t *testing.T) {
+	prog := loadFixture(t, "goleakbad", "repro/internal/sim")
+	got := Run(prog, []*Analyzer{NewGoLeak()})
+	if len(got) != 0 {
+		t.Errorf("goleak fired outside daemon scope:\n%s", renderFindings(got))
+	}
+}
+
+func TestDeadlineFixture(t *testing.T) {
+	prog := loadFixture(t, "deadlinebad", "repro/internal/transport")
+	got := Run(prog, []*Analyzer{NewDeadline()})
+	if len(got) != 2 {
+		t.Errorf("want 2 deadline findings, got %d:\n%s", len(got), renderFindings(got))
+	}
+	wantFindingAt(t, got, 14, "runs without a deadline")
+	wantFindingAt(t, got, 40, "runs without a deadline")
+	for _, f := range got {
+		switch f.Pos.Line {
+		case 22, 30, 35, 49:
+			t.Errorf("unexpected finding on negative-case line %d: %s", f.Pos.Line, f.Message)
+		}
+	}
+}
+
+func TestDeadlineScope(t *testing.T) {
+	prog := loadFixture(t, "deadlinebad", "repro/internal/sim")
+	got := Run(prog, []*Analyzer{NewDeadline()})
+	if len(got) != 0 {
+		t.Errorf("deadline fired outside daemon scope:\n%s", renderFindings(got))
+	}
+}

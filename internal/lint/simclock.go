@@ -1,11 +1,10 @@
 package lint
 
 import (
-	"fmt"
 	"go/ast"
 )
 
-// SimClock flags wall-clock and global-RNG use inside the simulation and
+// NewSimClock flags wall-clock and global-RNG use inside the simulation and
 // experiment packages. The DES engine (internal/des), the simulated
 // instance models (internal/sim, internal/cloudsim), and the load
 // generator (internal/loadgen) must derive every timestamp from an
@@ -17,14 +16,38 @@ import (
 // Seeded sources (rand.New(rand.NewSource(seed))) are allowed; only the
 // process-global convenience functions are banned. time.Since/Until are
 // banned too: each hides a time.Now() inside.
-type SimClock struct{}
-
-// Name implements Analyzer.
-func (SimClock) Name() string { return "simclock" }
-
-// Doc implements Analyzer.
-func (SimClock) Doc() string {
-	return "no wall clock or global math/rand in simulation/experiment packages"
+func NewSimClock() *Analyzer {
+	a := &Analyzer{
+		Name:  "simclock",
+		Doc:   "no wall clock or global math/rand in simulation/experiment packages",
+		Scope: simClockScope,
+	}
+	a.Run = func(p *Pass) {
+		p.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+			call := n.(*ast.CallExpr)
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return
+			}
+			switch importedPath(p.Pkg, p.File, id) {
+			case "time":
+				if hint, banned := bannedTimeFuncs[sel.Sel.Name]; banned {
+					p.Reportf(sel.Pos(), "time.%s in simulation package %s breaks experiment reproducibility; %s",
+						sel.Sel.Name, p.Pkg.Path, hint)
+				}
+			case "math/rand", "math/rand/v2":
+				if bannedRandFuncs[sel.Sel.Name] {
+					p.Reportf(sel.Pos(), "global rand.%s in simulation package %s breaks experiment reproducibility; draw from a seeded *rand.Rand",
+						sel.Sel.Name, p.Pkg.Path)
+				}
+			}
+		})
+	}
+	return a
 }
 
 // simClockScope lists the module-relative packages that must stay
@@ -55,52 +78,4 @@ var bannedRandFuncs = map[string]bool{
 	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
 	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64": true,
 	"Int64N": true, "UintN": true, "Uint32N": true, "Uint64N": true,
-}
-
-// Analyze implements Analyzer.
-func (a SimClock) Analyze(prog *Program) []Finding {
-	var out []Finding
-	for _, pkg := range prog.Packages {
-		if !inScope(pkg, simClockScope) {
-			continue
-		}
-		for _, file := range pkg.Files {
-			ast.Inspect(file, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				sel, ok := call.Fun.(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				id, ok := sel.X.(*ast.Ident)
-				if !ok {
-					return true
-				}
-				switch importedPath(pkg, file, id) {
-				case "time":
-					if hint, banned := bannedTimeFuncs[sel.Sel.Name]; banned {
-						out = append(out, Finding{
-							Analyzer: a.Name(),
-							Pos:      prog.Fset.Position(sel.Pos()),
-							Message: fmt.Sprintf("time.%s in simulation package %s breaks experiment reproducibility; %s",
-								sel.Sel.Name, pkg.Path, hint),
-						})
-					}
-				case "math/rand", "math/rand/v2":
-					if bannedRandFuncs[sel.Sel.Name] {
-						out = append(out, Finding{
-							Analyzer: a.Name(),
-							Pos:      prog.Fset.Position(sel.Pos()),
-							Message: fmt.Sprintf("global rand.%s in simulation package %s breaks experiment reproducibility; draw from a seeded *rand.Rand",
-								sel.Sel.Name, pkg.Path),
-						})
-					}
-				}
-				return true
-			})
-		}
-	}
-	return out
 }

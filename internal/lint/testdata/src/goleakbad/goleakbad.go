@@ -1,0 +1,69 @@
+// Package goleakbad is a known-bad fixture for the goleak analyzer. It is
+// loaded under a daemon-package import path by the tests; the same file
+// under a non-daemon path must produce no findings.
+package goleakbad
+
+import "sync"
+
+type worker struct {
+	quit chan struct{}
+	wg   sync.WaitGroup
+	work chan int
+}
+
+// Bad: infinite loop with no receive and no join.
+func (w *worker) spin() {
+	go w.spinLoop() // want: no provable stop path
+}
+
+func (w *worker) spinLoop() {
+	for {
+		process()
+	}
+}
+
+// Good: the literal receives on the quit and work channels.
+func (w *worker) stoppable() {
+	go func() {
+		for {
+			select {
+			case <-w.quit:
+				return
+			case v := <-w.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Good: joins a WaitGroup.
+func (w *worker) joined() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for {
+			if finished() {
+				return
+			}
+		}
+	}()
+}
+
+// Good: bounded body, runs to completion on its own.
+func (w *worker) bounded() {
+	go process()
+}
+
+// Bad: a func-value body cannot be statically resolved.
+func (w *worker) dynamic(fn func()) {
+	go fn() // want: not statically resolvable
+}
+
+// Suppressed: the audit trail for close-unblocks-read loops.
+func (w *worker) suppressed() {
+	//lint:ignore goleak fixture: Close unblocks the loop's blocking call
+	go w.spinLoop()
+}
+
+func process()       {}
+func finished() bool { return true }

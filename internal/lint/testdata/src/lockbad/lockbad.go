@@ -71,3 +71,24 @@ func (c *counter) bump() {
 func (c *counter) resetCold() {
 	c.cold = 0
 }
+
+// Bad: deferred unlock inside a loop body releases at function exit, so the
+// second iteration's Lock deadlocks.
+func (c *counter) deferInLoop(keys []int) {
+	for range keys {
+		c.mu.Lock()
+		defer c.mu.Unlock() // want finding: defer-unlock in loop
+		c.n++
+	}
+}
+
+// Good: a function literal inside the loop is its own defer scope.
+func (c *counter) deferInLoopFunc(keys []int) {
+	for range keys {
+		func() {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			c.n++
+		}()
+	}
+}

@@ -11,7 +11,7 @@ import (
 	"strings"
 )
 
-// WireCompat guards the wire formats against silent protocol breaks.
+// NewWireCompat guards the wire formats against silent protocol breaks.
 //
 // Two protocols cross process boundaries: the binary UDP datagrams defined
 // by internal/wire (router <-> QoS server), and the gob-encoded HA frames
@@ -27,22 +27,22 @@ import (
 // the build. Deliberate protocol changes are made by updating the manifest
 // in the same commit (janus-vet -write-manifest), which makes every wire
 // change explicit in review.
-type WireCompat struct {
-	// ManifestPath overrides the manifest location; "" means
-	// DefaultManifestPath under the module root.
-	ManifestPath string
+//
+// manifestPath overrides the manifest location; "" means
+// DefaultManifestPath under the module root.
+func NewWireCompat(manifestPath string) *Analyzer {
+	a := &Analyzer{
+		Name: "wirecompat",
+		Doc:  "wire/gob struct signatures must match the golden manifest",
+	}
+	a.RunModule = func(mp *ModulePass) {
+		checkWireCompat(mp, manifestPath)
+	}
+	return a
 }
 
 // DefaultManifestPath is the module-root-relative golden manifest location.
 const DefaultManifestPath = "internal/lint/wirecompat.golden"
-
-// Name implements Analyzer.
-func (WireCompat) Name() string { return "wirecompat" }
-
-// Doc implements Analyzer.
-func (WireCompat) Doc() string {
-	return "wire/gob struct signatures must match the golden manifest"
-}
 
 // trackedStructs lists the structs whose layout is part of a wire contract,
 // keyed by module-relative package path.
@@ -55,28 +55,25 @@ var trackedStructs = []struct {
 	{"internal/wire", []string{"Request", "Response", "BatchRequest", "BatchResponse", "LeaseAsk", "LeaseGrant"}},
 }
 
-// Analyze implements Analyzer.
-func (a WireCompat) Analyze(prog *Program) []Finding {
+func checkWireCompat(mp *ModulePass, manifestPath string) {
+	prog := mp.Prog
 	got := ComputeManifest(prog)
 	if len(got) == 0 {
 		// None of the tracked packages were loaded (e.g. janus-vet run on a
 		// single unrelated directory): nothing to check.
-		return nil
+		return
 	}
-	path := a.ManifestPath
+	path := manifestPath
 	if path == "" {
 		if prog.ModuleRoot == "" {
-			return nil
+			return
 		}
 		path = filepath.Join(prog.ModuleRoot, filepath.FromSlash(DefaultManifestPath))
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return []Finding{{
-			Analyzer: a.Name(),
-			Pos:      manifestPos(path),
-			Message:  fmt.Sprintf("cannot read golden wire manifest: %v (generate it with `janus-vet -write-manifest`)", err),
-		}}
+		mp.ReportAt(manifestPos(path), "cannot read golden wire manifest: %v (generate it with `janus-vet -write-manifest`)", err)
+		return
 	}
 	want := make(map[string]string) // struct key -> full line
 	for _, line := range strings.Split(string(data), "\n") {
@@ -90,39 +87,25 @@ func (a WireCompat) Analyze(prog *Program) []Finding {
 		}
 		want[strings.TrimSpace(key)] = line
 	}
-	var out []Finding
 	seen := make(map[string]bool)
 	for _, line := range got {
 		key, _, _ := strings.Cut(line, ":")
 		seen[key] = true
 		wantLine, ok := want[key]
 		if !ok {
-			out = append(out, Finding{
-				Analyzer: a.Name(),
-				Pos:      manifestPos(path),
-				Message:  fmt.Sprintf("wire struct %s is not in the golden manifest; if the new layout is intended, run `janus-vet -write-manifest`", key),
-			})
+			mp.ReportAt(manifestPos(path), "wire struct %s is not in the golden manifest; if the new layout is intended, run `janus-vet -write-manifest`", key)
 			continue
 		}
 		if wantLine != line {
-			out = append(out, Finding{
-				Analyzer: a.Name(),
-				Pos:      manifestPos(path),
-				Message: fmt.Sprintf("wire-breaking change in %s:\n\tmanifest: %s\n\tsource:   %s\n\tif the protocol change is intended, update the manifest with `janus-vet -write-manifest`",
-					key, wantLine, line),
-			})
+			mp.ReportAt(manifestPos(path), "wire-breaking change in %s:\n\tmanifest: %s\n\tsource:   %s\n\tif the protocol change is intended, update the manifest with `janus-vet -write-manifest`",
+				key, wantLine, line)
 		}
 	}
 	for key := range want {
 		if !seen[key] && trackedPackageLoaded(prog, key) {
-			out = append(out, Finding{
-				Analyzer: a.Name(),
-				Pos:      manifestPos(path),
-				Message:  fmt.Sprintf("wire struct %s is in the golden manifest but missing from the source tree", key),
-			})
+			mp.ReportAt(manifestPos(path), "wire struct %s is in the golden manifest but missing from the source tree", key)
 		}
 	}
-	return out
 }
 
 func manifestPos(path string) token.Position {

@@ -10,9 +10,13 @@ import (
 type Counter struct{ v atomic.Int64 }
 
 // Inc adds 1 and returns the new value.
+//
+//janus:hotpath
 func (c *Counter) Inc() int64 { return c.v.Add(1) }
 
 // Add adds delta and returns the new value.
+//
+//janus:hotpath
 func (c *Counter) Add(delta int64) int64 { return c.v.Add(delta) }
 
 // Value returns the current count.

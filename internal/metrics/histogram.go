@@ -98,6 +98,8 @@ func leadingZeros64(x uint64) int {
 }
 
 // Record adds one observation of v.
+//
+//janus:hotpath
 func (h *Histogram) Record(v int64) {
 	h.counts[bucketIndex(v)].Add(1)
 	h.total.Add(1)
@@ -117,6 +119,8 @@ func (h *Histogram) Record(v int64) {
 }
 
 // RecordDuration adds one observation of d in nanoseconds.
+//
+//janus:hotpath
 func (h *Histogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
 
 // Count returns the number of recorded observations.

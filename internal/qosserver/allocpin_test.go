@@ -1,0 +1,193 @@
+package qosserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/bucket"
+	"repro/internal/lease"
+	"repro/internal/wire"
+)
+
+// Alloc pinning: the janus-vet hotalloc analyzer proves statically that the
+// annotated hot paths introduce no allocation SITES; these tests prove
+// dynamically that the composed end-to-end paths perform no allocations PER
+// OPERATION in steady state. Both must hold — the static check catches a
+// regression at the line that introduces it, the pin catches whatever the
+// static taxonomy cannot see (runtime map growth, escape-analysis changes
+// across compiler versions).
+//
+// The budgets are pinned in BENCH_allocs.json at the repository root; a test
+// failure here means either a hot-path regression (fix it) or a deliberate
+// budget change (re-measure and update the JSON alongside the code).
+//
+// testing.AllocsPerRun runs the function once before measuring, so one-time
+// costs — rule install on first sight of a key, demand-tracker entry
+// creation, wire-key interning, slice warm-up — land in the warm-up run and
+// steady state is what gets measured, exactly as in a long-lived daemon.
+
+// allocBudgets mirrors BENCH_allocs.json.
+type allocBudgets struct {
+	Baseline map[string]float64 `json:"baseline_allocs_per_op"`
+	Budget   map[string]float64 `json:"budget_allocs_per_op"`
+}
+
+func loadAllocBudgets(t *testing.T) allocBudgets {
+	t.Helper()
+	raw, err := os.ReadFile("../../BENCH_allocs.json")
+	if err != nil {
+		t.Fatalf("read BENCH_allocs.json: %v", err)
+	}
+	var b allocBudgets
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatalf("parse BENCH_allocs.json: %v", err)
+	}
+	return b
+}
+
+func pinBudget(t *testing.T, name string) float64 {
+	t.Helper()
+	b := loadAllocBudgets(t)
+	budget, ok := b.Budget[name]
+	if !ok {
+		t.Fatalf("BENCH_allocs.json has no budget for %q", name)
+	}
+	return budget
+}
+
+func skipIfInstrumented(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; alloc pins run uninstrumented")
+	}
+}
+
+// newPinServer builds a server with a generous default rule so the pinned
+// loop never exhausts credit mid-measurement.
+func newPinServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New(Config{
+		Addr:        "127.0.0.1:0",
+		DefaultRule: bucket.Rule{RefillRate: 1e9, Capacity: 1e9, Credit: 1e9},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestAllocPinSingleton pins the full singleton admission path — decode the
+// request frame (reuse decoder), decide, encode the response frame into a
+// reused buffer — at its recorded budget.
+func TestAllocPinSingleton(t *testing.T) {
+	skipIfInstrumented(t)
+	budget := pinBudget(t, "singleton_decode_decide_encode")
+	s := newPinServer(t)
+
+	pkt, err := wire.AppendRequest(nil, wire.Request{ID: 7, Key: "alloc-pin-singleton", Cost: 1})
+	if err != nil {
+		t.Fatalf("AppendRequest: %v", err)
+	}
+	var req wire.Request
+	out := make([]byte, 0, wire.MaxDatagram)
+	var failure error
+
+	got := testing.AllocsPerRun(200, func() {
+		if err := wire.DecodeRequestReuse(pkt, &req); err != nil {
+			failure = err
+			return
+		}
+		resp := s.Decide(req)
+		out, err = wire.AppendResponse(out[:0], resp)
+		if err != nil {
+			failure = err
+		}
+	})
+	if failure != nil {
+		t.Fatalf("pinned loop failed: %v", failure)
+	}
+	if got != budget {
+		t.Errorf("singleton decode→Decide→encode: %v allocs/op, budget %v (BENCH_allocs.json)", got, budget)
+	}
+}
+
+// TestAllocPinBatch32 pins the batched admission path — decode a 32-entry
+// batch frame in place, decide all entries appending into a reused slice,
+// encode the batched response into a reused buffer.
+func TestAllocPinBatch32(t *testing.T) {
+	skipIfInstrumented(t)
+	budget := pinBudget(t, "batch32_decode_decide_encode")
+	s := newPinServer(t)
+
+	const n = 32
+	entries := make([]wire.Request, n)
+	for i := range entries {
+		entries[i] = wire.Request{ID: uint64(i + 1), Key: fmt.Sprintf("alloc-pin-batch-%02d", i), Cost: 1}
+	}
+	pkt, err := wire.AppendBatchRequest(nil, wire.BatchRequest{Entries: entries})
+	if err != nil {
+		t.Fatalf("AppendBatchRequest: %v", err)
+	}
+	var breq wire.BatchRequest
+	var resps []wire.Response
+	out := make([]byte, 0, wire.MaxDatagram)
+	var failure error
+
+	got := testing.AllocsPerRun(200, func() {
+		if err := wire.DecodeBatchRequestReuse(pkt, &breq); err != nil {
+			failure = err
+			return
+		}
+		resps = s.DecideBatchAppend(resps[:0], breq.Entries)
+		out, err = wire.AppendBatchResponse(out[:0], wire.BatchResponse{Entries: resps})
+		if err != nil {
+			failure = err
+		}
+	})
+	if failure != nil {
+		t.Fatalf("pinned loop failed: %v", failure)
+	}
+	if got != budget {
+		t.Errorf("batch(32) decode→DecideBatchAppend→encode: %v allocs/op, budget %v (BENCH_allocs.json)", got, budget)
+	}
+}
+
+// TestAllocPinLeaseTableHit pins the router-side lease-table hit: a live
+// lease admits locally — demand observation, epoch check, delegated bucket
+// spend — without touching the wire or the heap.
+func TestAllocPinLeaseTableHit(t *testing.T) {
+	skipIfInstrumented(t)
+	budget := pinBudget(t, "lease_table_hit")
+
+	tbl := lease.NewTable(lease.TableConfig{Clock: time.Now})
+	tbl.SetEpoch(1)
+	// Seed the demand entry, then install a grant big enough that the pinned
+	// loop never drains it and long-lived enough that it never enters the
+	// renewal window mid-measurement.
+	tbl.Route("alloc-pin-lease", 1)
+	tbl.Apply("alloc-pin-lease", wire.LeaseGrant{
+		Op:    wire.LeaseOpGrant,
+		Rate:  1e9,
+		Burst: 1e9,
+		TTL:   time.Hour,
+		Epoch: 1,
+	})
+
+	var undecided bool
+	got := testing.AllocsPerRun(200, func() {
+		d := tbl.Route("alloc-pin-lease", 1)
+		if !d.Decided || !d.Allow {
+			undecided = true
+		}
+	})
+	if undecided {
+		t.Fatal("lease-table hit was not served locally; the pin measured the wrong path")
+	}
+	if got != budget {
+		t.Errorf("lease-table hit: %v allocs/op, budget %v (BENCH_allocs.json)", got, budget)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package qosserver
+
+// raceEnabled reports whether the race detector instrumented this build.
+// The alloc-pin tests skip under -race: instrumentation inserts shadow
+// allocations that have nothing to do with the production code path.
+const raceEnabled = false

@@ -130,7 +130,7 @@ type Server struct {
 
 	// defaults tracks keys served by the default rule, so responses carry
 	// StatusDefaultRule and checkpointing can skip them.
-	defaults sync.Map // key -> struct{}
+	defaults keySet
 
 	decisionLatency *metrics.Histogram
 	batchSize       *metrics.Histogram
@@ -166,6 +166,39 @@ type Server struct {
 type packet struct {
 	data  []byte
 	raddr *net.UDPAddr
+}
+
+// keySet is a concurrent string set. It replaces sync.Map for the
+// default-rule bookkeeping because the membership check sits on the
+// per-decision hot path, and sync.Map's any-keyed Load would box the string
+// key — one heap allocation per admission. The two-value Load mirrors the
+// sync.Map shape so call sites read the same.
+type keySet struct {
+	mu sync.RWMutex
+	m  map[string]struct{}
+}
+
+//janus:hotpath
+func (ks *keySet) Load(key string) (struct{}, bool) {
+	ks.mu.RLock()
+	_, ok := ks.m[key]
+	ks.mu.RUnlock()
+	return struct{}{}, ok
+}
+
+func (ks *keySet) Store(key string, _ struct{}) {
+	ks.mu.Lock()
+	if ks.m == nil {
+		ks.m = make(map[string]struct{})
+	}
+	ks.m[key] = struct{}{}
+	ks.mu.Unlock()
+}
+
+func (ks *keySet) Delete(key string) {
+	ks.mu.Lock()
+	delete(ks.m, key)
+	ks.mu.Unlock()
 }
 
 // New starts a QoS server.
@@ -291,6 +324,9 @@ var fpUDPRecv = failpoint.New("qosserver/udp/recv")
 // listen is the UDP listener thread: it receives packets and pushes them
 // into the FIFO. A full FIFO drops the packet — the router's retry covers
 // the loss, exactly the failure mode the paper's UDP discipline anticipates.
+//
+//janus:deadlined the accept-style read blocks by design; Close() closes the
+// socket, which unblocks ReadFromUDP with an error and ends the loop.
 func (s *Server) listen() {
 	defer s.wg.Done()
 	for {
@@ -323,6 +359,11 @@ func (s *Server) listen() {
 // is preserved through the server's queue and reply syscall.
 func (s *Server) worker() {
 	defer s.wg.Done()
+	// The decode batch, response slice, and encode buffer are owned by this
+	// worker and reused across packets: with a recurring key set the whole
+	// decode→decide→encode pass allocates nothing (see the AllocPin tests).
+	var breq wire.BatchRequest
+	var resps []wire.Response
 	out := make([]byte, 0, 64)
 	for {
 		var pkt packet
@@ -331,19 +372,19 @@ func (s *Server) worker() {
 			return
 		case pkt = <-s.fifo:
 		}
-		breq, err := wire.DecodeBatchRequest(pkt.data)
-		if err != nil {
+		if err := wire.DecodeBatchRequestReuse(pkt.data, &breq); err != nil {
 			s.malformed.Inc()
 			continue
 		}
 		s.batchSize.Record(int64(len(breq.Entries)))
-		resps := s.DecideBatch(breq.Entries)
+		resps = s.DecideBatchAppend(resps[:0], breq.Entries)
 		// Lease traffic rides singleton exchanges only (FlagLease and
 		// FlagBatched are mutually exclusive on the wire), so lease asks are
 		// served — and pending revocations delivered — on unbatched frames.
 		if s.leases != nil && len(breq.Entries) == 1 {
 			s.attachLease(&breq.Entries[0], &resps[0], pkt.raddr.String())
 		}
+		var err error
 		out, err = wire.AppendBatchResponse(out[:0], wire.BatchResponse{Entries: resps})
 		if err != nil {
 			// Unreachable for a decoded batch (same entry IDs, same bound);
@@ -355,6 +396,7 @@ func (s *Server) worker() {
 		// whether the request router receives the response or not") — but a
 		// send the kernel refused is counted, or silent drops would read as
 		// router-side packet loss.
+		//lint:ignore deadline fire-and-forget UDP send; WriteToUDP does not block on the peer
 		if _, err := s.conn.WriteToUDP(out, pkt.raddr); err != nil {
 			s.sendErrors.Inc()
 		}
@@ -440,37 +482,54 @@ func (s *Server) leaseSweepLoop() {
 // equivalence property test). Exported for in-process deployments and the
 // property harness.
 func (s *Server) DecideBatch(reqs []wire.Request) []wire.Response {
-	resps := make([]wire.Response, len(reqs))
-	for i, req := range reqs {
+	return s.DecideBatchAppend(make([]wire.Response, 0, len(reqs)), reqs)
+}
+
+// DecideBatchAppend is DecideBatch appending into a caller-owned slice, so a
+// worker can amortize the response storage across packets. It returns the
+// extended slice.
+//
+//janus:hotpath
+func (s *Server) DecideBatchAppend(dst []wire.Response, reqs []wire.Request) []wire.Response {
+	for i := range reqs {
 		start := s.clock()
-		resp := s.Decide(req)
+		resp := s.Decide(reqs[i])
 		d := s.clock().Sub(start)
 		s.decisionLatency.RecordDuration(d)
 		// The untraced hot path pays only the TraceID == 0 comparison; a
 		// sampled request echoes its ID plus the worker-side processing
 		// time, and files its span in the local /debug/traces buffer.
-		if req.TraceID != 0 {
+		if reqs[i].TraceID != 0 {
 			resp.ServerNanos = int64(d)
-			s.tracer.Record(&trace.Trace{ID: trace.HexID(req.TraceID), Spans: []trace.Span{{
-				Hop:   "qosserver",
-				Note:  "status=" + resp.Status.String(),
-				Start: start.UnixNano(),
-				Dur:   int64(d),
-			}}})
+			//lint:ignore hotalloc trace-sampled branch; the span allocation is amortized by the sampling rate
+			s.recordSpan(reqs[i].TraceID, resp.Status, start, d)
 		}
-		resps[i] = resp
+		dst = append(dst, resp)
 	}
-	return resps
+	return dst
+}
+
+// recordSpan files the qosserver worker span of one traced decision.
+func (s *Server) recordSpan(traceID uint64, status wire.Status, start time.Time, d time.Duration) {
+	s.tracer.Record(&trace.Trace{ID: trace.HexID(traceID), Spans: []trace.Span{{
+		Hop:   "qosserver",
+		Note:  "status=" + status.String(),
+		Start: start.UnixNano(),
+		Dur:   int64(d),
+	}}})
 }
 
 // Decide makes the admission decision for one request against the local
 // table, fetching the rule from the database on first sight of a key.
 // It is exported for in-process deployments and the simulation harness.
+//
+//janus:hotpath
 func (s *Server) Decide(req wire.Request) wire.Response {
 	now := s.clock()
 	b := s.table.Get(req.Key)
 	status := wire.StatusOK
 	if b == nil {
+		//lint:ignore hotalloc first sight of a key installs its rule; every later decision hits the table
 		b = s.installRule(req.Key, now)
 	}
 	if _, isDefault := s.defaults.Load(req.Key); isDefault {

@@ -18,7 +18,6 @@
 package table
 
 import (
-	"hash/crc32"
 	"sync"
 	"time"
 
@@ -152,11 +151,23 @@ func NewSharded(n int) *Sharded {
 	return t
 }
 
+// shardFor hashes key with inline FNV-1a: hashing the string directly (no
+// []byte conversion, no hash.Hash construction) keeps the per-decision
+// lookup allocation-free regardless of key length.
+//
+//janus:hotpath
 func (t *Sharded) shardFor(key string) *shard {
-	return &t.shards[crc32.ChecksumIEEE([]byte(key))&t.mask]
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &t.shards[h&t.mask]
 }
 
 // Get implements Table.
+//
+//janus:hotpath
 func (t *Sharded) Get(key string) *bucket.Bucket {
 	s := t.shardFor(key)
 	s.mu.RLock()

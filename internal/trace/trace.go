@@ -193,6 +193,8 @@ func (s *Sampler) Rate() float64 {
 // Sample draws one sampling decision. It returns a non-zero trace ID when
 // the request should be traced. With sampling disabled it costs exactly one
 // atomic load.
+//
+//janus:hotpath
 func (s *Sampler) Sample() (uint64, bool) {
 	t := s.threshold.Load()
 	if t == 0 {
@@ -372,6 +374,8 @@ func NewRecorder(cfg Config) *Recorder {
 }
 
 // Sample draws a sampling decision from the recorder's sampler.
+//
+//janus:hotpath
 func (r *Recorder) Sample() (uint64, bool) { return r.sampler.Sample() }
 
 // SetRate changes the sampling fraction at runtime.

@@ -77,6 +77,9 @@ func newCoalescer(c *Client) *coalescer {
 // enqueue hands one request (attempt) to the flusher. It never blocks: the
 // caller immediately goes to wait on its response channel, exactly as it
 // would after a direct socket write.
+//
+//janus:hotpath steady state appends into the retained pending slice; growth
+// stops once the slice reaches the fan-in high-water mark.
 func (co *coalescer) enqueue(req wire.Request) {
 	co.mu.Lock()
 	co.pending = append(co.pending, req)
@@ -189,6 +192,8 @@ func containsID(batch []wire.Request, id uint64) bool {
 // flush encodes and sends one batch. Send failures cannot be reported to the
 // N callers waiting on their response channels, so they are counted
 // (FlushErrors) and the callers recover through their normal retry path.
+//
+//janus:hotpath
 func (co *coalescer) flush(batch []wire.Request) {
 	sends := 1
 	if fpClientBatch.Armed() {
@@ -222,6 +227,7 @@ func (co *coalescer) flush(batch []wire.Request) {
 		h.Record(int64(len(batch)))
 	}
 	for i := 0; i < sends; i++ {
+		//lint:ignore deadline fire-and-forget UDP send; Write on an unconnected-buffer datagram socket does not block on the peer
 		if _, err := co.c.conn.Write(pkt); err != nil {
 			co.c.flushErrs.Add(1)
 			return

@@ -86,6 +86,8 @@ type BatchResponse struct {
 
 // scaleCost converts a credit cost to the 1/1000 fixed-point wire value,
 // clamping to non-negative and the 4-byte field.
+//
+//janus:hotpath
 func scaleCost(cost float64) uint32 {
 	if cost < 0 {
 		cost = 0
@@ -98,6 +100,8 @@ func scaleCost(cost float64) uint32 {
 }
 
 // growTo extends dst so its length is start+need, reusing capacity.
+//
+//janus:hotpath
 func growTo(dst []byte, start, need int) []byte {
 	for cap(dst)-start < need {
 		dst = append(dst[:cap(dst)], 0)
@@ -109,6 +113,8 @@ func growTo(dst []byte, start, need int) []byte {
 // encodes byte-identically to AppendRequest (the singleton fast path); a
 // larger batch sets FlagBatched and appends the extension. Entry IDs must be
 // unique (ErrDuplicateEntry) and the batch bounded (ErrBatchTooLarge).
+//
+//janus:hotpath
 func AppendBatchRequest(dst []byte, b BatchRequest) ([]byte, error) {
 	switch {
 	case len(b.Entries) == 0:
@@ -187,86 +193,118 @@ func AppendBatchRequest(dst []byte, b BatchRequest) ([]byte, error) {
 // exactly: truncated entries, duplicate entry IDs, and bytes beyond the
 // final entry are all rejected.
 func DecodeBatchRequest(buf []byte) (BatchRequest, error) {
-	if err := checkHeader(buf, typeRequest); err != nil {
-		return BatchRequest{}, err
-	}
-	if buf[3]&FlagBatched == 0 {
-		req, err := DecodeRequest(buf)
-		if err != nil {
-			return BatchRequest{}, err
-		}
-		return BatchRequest{Entries: []Request{req}}, nil
-	}
-	if buf[3]&FlagLease != 0 {
-		return BatchRequest{}, ErrLeaseInBatch
-	}
-	if len(buf) < requestHeaderLen {
-		return BatchRequest{}, ErrTruncated
-	}
-	n := int(binary.BigEndian.Uint16(buf[20:]))
-	off := requestHeaderLen + n
-	if len(buf) < off {
-		return BatchRequest{}, ErrTruncated
-	}
-	head := Request{
-		ID:   binary.BigEndian.Uint64(buf[4:]),
-		Cost: float64(binary.BigEndian.Uint32(buf[16:])) / costScale,
-		Key:  string(buf[22 : 22+n]),
-	}
-	if buf[3]&FlagTraced != 0 {
-		if len(buf) < off+traceIDLen {
-			return BatchRequest{}, ErrTruncated
-		}
-		head.TraceID = binary.BigEndian.Uint64(buf[off:])
-		off += traceIDLen
-	}
-	if len(buf) < off+batchCountLen {
-		return BatchRequest{}, ErrTruncated
-	}
-	extras := int(binary.BigEndian.Uint16(buf[off:]))
-	off += batchCountLen
-	if extras+1 > MaxBatchEntries {
-		return BatchRequest{}, ErrBatchTooLarge
-	}
-	entries := make([]Request, 1, extras+1)
-	entries[0] = head
-	for i := 0; i < extras; i++ {
-		if len(buf) < off+batchReqEntryLen {
-			return BatchRequest{}, ErrTruncated
-		}
-		e := Request{
-			ID:   binary.BigEndian.Uint64(buf[off:]),
-			Cost: float64(binary.BigEndian.Uint32(buf[off+9:])) / costScale,
-		}
-		ef := buf[off+8]
-		kn := int(binary.BigEndian.Uint16(buf[off+13:]))
-		off += batchReqEntryLen
-		if len(buf) < off+kn {
-			return BatchRequest{}, ErrTruncated
-		}
-		e.Key = string(buf[off : off+kn])
-		off += kn
-		if ef&FlagTraced != 0 {
-			if len(buf) < off+traceIDLen {
-				return BatchRequest{}, ErrTruncated
-			}
-			e.TraceID = binary.BigEndian.Uint64(buf[off:])
-			off += traceIDLen
-		}
-		entries = append(entries, e)
-	}
-	if off != len(buf) {
-		return BatchRequest{}, ErrTrailingBytes
-	}
-	b := BatchRequest{Entries: entries}
-	if err := checkUniqueIDs(entries); err != nil {
+	var b BatchRequest
+	if err := DecodeBatchRequestReuse(buf, &b); err != nil {
 		return BatchRequest{}, err
 	}
 	return b, nil
 }
 
+// growEntries resizes b.Entries to n, reusing the backing array — and the
+// key strings interned in it — across decodes.
+//
+//janus:hotpath
+func growEntries(b *BatchRequest, n int) {
+	var zero Request
+	for cap(b.Entries) < n {
+		b.Entries = append(b.Entries[:cap(b.Entries)], zero)
+	}
+	b.Entries = b.Entries[:n]
+}
+
+// DecodeBatchRequestReuse parses a request datagram into *b, reusing the
+// entry slice and its interned key strings (see DecodeRequestReuse): a
+// worker draining a socket whose batches carry a recurring key set decodes
+// with zero heap allocations per datagram. Every entry is overwritten; on
+// error *b is left in an unspecified state.
+//
+//janus:hotpath
+func DecodeBatchRequestReuse(buf []byte, b *BatchRequest) error {
+	if err := checkHeader(buf, typeRequest); err != nil {
+		return err
+	}
+	if buf[3]&FlagBatched == 0 {
+		growEntries(b, 1)
+		return DecodeRequestReuse(buf, &b.Entries[0])
+	}
+	if buf[3]&FlagLease != 0 {
+		return ErrLeaseInBatch
+	}
+	if len(buf) < requestHeaderLen {
+		return ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(buf[20:]))
+	off := requestHeaderLen + n
+	if len(buf) < off {
+		return ErrTruncated
+	}
+	traceOff := 0
+	if buf[3]&FlagTraced != 0 {
+		if len(buf) < off+traceIDLen {
+			return ErrTruncated
+		}
+		traceOff = off
+		off += traceIDLen
+	}
+	if len(buf) < off+batchCountLen {
+		return ErrTruncated
+	}
+	extras := int(binary.BigEndian.Uint16(buf[off:]))
+	off += batchCountLen
+	if extras+1 > MaxBatchEntries {
+		return ErrBatchTooLarge
+	}
+	growEntries(b, extras+1)
+	head := &b.Entries[0]
+	head.ID = binary.BigEndian.Uint64(buf[4:])
+	head.Cost = float64(binary.BigEndian.Uint32(buf[16:])) / costScale
+	if key := buf[22 : 22+n]; head.Key != string(key) {
+		//lint:ignore hotalloc a key change re-interns the string; recurring keys reuse it
+		head.Key = string(key)
+	}
+	head.TraceID = 0
+	head.Lease = LeaseAsk{}
+	if traceOff != 0 {
+		head.TraceID = binary.BigEndian.Uint64(buf[traceOff:])
+	}
+	for i := 1; i <= extras; i++ {
+		if len(buf) < off+batchReqEntryLen {
+			return ErrTruncated
+		}
+		e := &b.Entries[i]
+		e.ID = binary.BigEndian.Uint64(buf[off:])
+		e.Cost = float64(binary.BigEndian.Uint32(buf[off+9:])) / costScale
+		e.TraceID = 0
+		e.Lease = LeaseAsk{}
+		ef := buf[off+8]
+		kn := int(binary.BigEndian.Uint16(buf[off+13:]))
+		off += batchReqEntryLen
+		if len(buf) < off+kn {
+			return ErrTruncated
+		}
+		if key := buf[off : off+kn]; e.Key != string(key) {
+			//lint:ignore hotalloc a key change re-interns the string; recurring keys reuse it
+			e.Key = string(key)
+		}
+		off += kn
+		if ef&FlagTraced != 0 {
+			if len(buf) < off+traceIDLen {
+				return ErrTruncated
+			}
+			e.TraceID = binary.BigEndian.Uint64(buf[off:])
+			off += traceIDLen
+		}
+	}
+	if off != len(buf) {
+		return ErrTrailingBytes
+	}
+	return checkUniqueIDs(b.Entries)
+}
+
 // AppendBatchResponse appends the encoded batched decisions to dst. A
 // single-entry batch encodes byte-identically to AppendResponse.
+//
+//janus:hotpath
 func AppendBatchResponse(dst []byte, b BatchResponse) ([]byte, error) {
 	switch {
 	case len(b.Entries) == 0:
@@ -405,6 +443,8 @@ func DecodeBatchResponse(buf []byte) (BatchResponse, error) {
 }
 
 // putVerdict writes the 2-byte verdict/status pair of one response entry.
+//
+//janus:hotpath
 func putVerdict(buf []byte, resp Response) {
 	if resp.Allow {
 		buf[0] = 1
@@ -416,6 +456,8 @@ func putVerdict(buf []byte, resp Response) {
 
 // clampNanos converts server-processing nanoseconds to the 4-byte wire
 // field (clamped to [0, ~4.29s], matching the singleton encoding).
+//
+//janus:hotpath
 func clampNanos(nanos int64) uint32 {
 	if nanos < 0 {
 		nanos = 0
@@ -426,11 +468,51 @@ func clampNanos(nanos int64) uint32 {
 	return uint32(nanos)
 }
 
+// uniqueScanMax is the batch size at or below which duplicate detection uses
+// the quadratic scan: for the coalescer-sized batches that dominate the hot
+// path, n² comparisons over a cache-resident slice beat building a map — and
+// allocate nothing.
+const uniqueScanMax = 64
+
 // checkUniqueIDs rejects duplicate request IDs within one batch: the ID is
 // the response-correlation key, so a duplicate would make two entries
 // indistinguishable to the sender (and a duplicated entry is how a corrupt
 // or replayed partial batch tries to double-charge a retry).
+//
+//janus:hotpath
 func checkUniqueIDs(entries []Request) error {
+	if len(entries) <= uniqueScanMax {
+		for i := 1; i < len(entries); i++ {
+			for j := 0; j < i; j++ {
+				if entries[i].ID == entries[j].ID {
+					return ErrDuplicateEntry
+				}
+			}
+		}
+		return nil
+	}
+	//lint:ignore hotalloc batches past uniqueScanMax are rare; the map check is off the pin path
+	return mapUniqueIDs(entries)
+}
+
+//janus:hotpath
+func checkUniqueRespIDs(entries []Response) error {
+	if len(entries) <= uniqueScanMax {
+		for i := 1; i < len(entries); i++ {
+			for j := 0; j < i; j++ {
+				if entries[i].ID == entries[j].ID {
+					return ErrDuplicateEntry
+				}
+			}
+		}
+		return nil
+	}
+	//lint:ignore hotalloc batches past uniqueScanMax are rare; the map check is off the pin path
+	return mapUniqueRespIDs(entries)
+}
+
+// mapUniqueIDs is the large-batch slow path of checkUniqueIDs.
+func mapUniqueIDs(entries []Request) error {
 	seen := make(map[uint64]struct{}, len(entries))
 	for _, e := range entries {
 		if _, dup := seen[e.ID]; dup {
@@ -441,7 +523,7 @@ func checkUniqueIDs(entries []Request) error {
 	return nil
 }
 
-func checkUniqueRespIDs(entries []Response) error {
+func mapUniqueRespIDs(entries []Response) error {
 	seen := make(map[uint64]struct{}, len(entries))
 	for _, e := range entries {
 		if _, dup := seen[e.ID]; dup {

@@ -143,6 +143,7 @@ func (g LeaseGrant) validate() error {
 	}
 }
 
+//janus:hotpath
 func putLeaseAsk(buf []byte, a LeaseAsk) {
 	buf[0] = byte(a.Op)
 	binary.BigEndian.PutUint32(buf[1:], scaleCost(a.Demand))
@@ -151,6 +152,8 @@ func putLeaseAsk(buf []byte, a LeaseAsk) {
 
 // parseLeaseAsk decodes the request lease section at buf[off:], returning
 // the section and the new offset.
+//
+//janus:hotpath
 func parseLeaseAsk(buf []byte, off int) (LeaseAsk, int, error) {
 	if len(buf) < off+leaseAskLen {
 		return LeaseAsk{}, off, ErrTruncated
@@ -166,6 +169,7 @@ func parseLeaseAsk(buf []byte, off int) (LeaseAsk, int, error) {
 	return a, off + leaseAskLen, nil
 }
 
+//janus:hotpath
 func putLeaseGrant(buf []byte, g LeaseGrant) {
 	buf[0] = byte(g.Op)
 	binary.BigEndian.PutUint32(buf[1:], scaleCost(g.Rate))
@@ -178,6 +182,8 @@ func putLeaseGrant(buf []byte, g LeaseGrant) {
 
 // parseLeaseGrant decodes the response lease section at buf[off:], returning
 // the section and the new offset.
+//
+//janus:hotpath
 func parseLeaseGrant(buf []byte, off int) (LeaseGrant, int, error) {
 	if len(buf) < off+leaseGrantLen {
 		return LeaseGrant{}, off, ErrTruncated
@@ -194,7 +200,12 @@ func parseLeaseGrant(buf []byte, off int) (LeaseGrant, int, error) {
 	if len(buf) < off+m {
 		return LeaseGrant{}, off, ErrTruncated
 	}
-	g.Key = string(buf[off : off+m])
+	if m > 0 {
+		// Only piggybacked revocations name a key; grants and denials (the
+		// steady-state renewal traffic) leave m == 0 and allocate nothing.
+		//lint:ignore hotalloc revocation frames are rare control traffic
+		g.Key = string(buf[off : off+m])
+	}
 	off += m
 	if err := g.validate(); err != nil {
 		return LeaseGrant{}, off, err

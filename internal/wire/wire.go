@@ -162,6 +162,7 @@ var (
 	ErrKeyTooLong  = errors.New("wire: key exceeds 65535 bytes")
 )
 
+//janus:hotpath
 func putHeader(buf []byte, typ, flags byte, id uint64) {
 	buf[0] = Magic
 	buf[1] = Version
@@ -170,10 +171,12 @@ func putHeader(buf []byte, typ, flags byte, id uint64) {
 	binary.BigEndian.PutUint64(buf[4:], id)
 }
 
+//janus:hotpath
 func seal(buf []byte) {
 	binary.BigEndian.PutUint32(buf[12:], crc32.ChecksumIEEE(buf[checksummedOffset:]))
 }
 
+//janus:hotpath
 func checkHeader(buf []byte, wantType byte) error {
 	if len(buf) < checksummedOffset {
 		return ErrTruncated
@@ -195,6 +198,8 @@ func checkHeader(buf []byte, wantType byte) error {
 
 // AppendRequest appends the encoded request to dst and returns the extended
 // slice. The cost is clamped to non-negative and rounded to 1/1000 credit.
+//
+//janus:hotpath
 func AppendRequest(dst []byte, req Request) ([]byte, error) {
 	if len(req.Key) > MaxKeyLen {
 		return dst, ErrKeyTooLong
@@ -238,42 +243,63 @@ func EncodeRequest(req Request) ([]byte, error) {
 
 // DecodeRequest parses a binary request datagram.
 func DecodeRequest(buf []byte) (Request, error) {
-	if err := checkHeader(buf, typeRequest); err != nil {
+	var req Request
+	if err := DecodeRequestReuse(buf, &req); err != nil {
 		return Request{}, err
 	}
+	return req, nil
+}
+
+// DecodeRequestReuse parses a binary request datagram into *req, reusing its
+// storage: when the incoming key equals req.Key byte-for-byte the existing
+// string is kept (the comparison against string(buf) does not allocate), so a
+// decoder fed a recurring key set — the steady state of every router→server
+// socket — performs zero heap allocations per datagram. Every field of *req
+// is overwritten; on error *req is left in an unspecified state.
+//
+//janus:hotpath
+func DecodeRequestReuse(buf []byte, req *Request) error {
+	if err := checkHeader(buf, typeRequest); err != nil {
+		return err
+	}
 	if len(buf) < requestHeaderLen {
-		return Request{}, ErrTruncated
+		return ErrTruncated
 	}
 	n := int(binary.BigEndian.Uint16(buf[20:]))
 	if len(buf) < requestHeaderLen+n {
-		return Request{}, ErrTruncated
+		return ErrTruncated
 	}
-	req := Request{
-		ID:   binary.BigEndian.Uint64(buf[4:]),
-		Cost: float64(binary.BigEndian.Uint32(buf[16:])) / costScale,
-		Key:  string(buf[22 : 22+n]),
+	req.ID = binary.BigEndian.Uint64(buf[4:])
+	req.Cost = float64(binary.BigEndian.Uint32(buf[16:])) / costScale
+	if key := buf[22 : 22+n]; req.Key != string(key) {
+		//lint:ignore hotalloc a key change re-interns the string; recurring keys reuse it
+		req.Key = string(key)
 	}
+	req.TraceID = 0
+	req.Lease = LeaseAsk{}
 	off := requestHeaderLen + n
 	if buf[3]&FlagTraced != 0 {
 		if len(buf) < off+traceIDLen {
-			return Request{}, ErrTruncated
+			return ErrTruncated
 		}
 		req.TraceID = binary.BigEndian.Uint64(buf[off:])
 		off += traceIDLen
 	}
 	if buf[3]&FlagLease != 0 {
 		if buf[3]&FlagBatched != 0 {
-			return Request{}, ErrLeaseInBatch
+			return ErrLeaseInBatch
 		}
 		var err error
 		if req.Lease, _, err = parseLeaseAsk(buf, off); err != nil {
-			return Request{}, err
+			return err
 		}
 	}
-	return req, nil
+	return nil
 }
 
 // AppendResponse appends the encoded response to dst.
+//
+//janus:hotpath
 func AppendResponse(dst []byte, resp Response) ([]byte, error) {
 	start := len(dst)
 	need := responseLen
