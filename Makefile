@@ -1,5 +1,11 @@
 GO ?= go
 
+# Build identity stamped into every binary: janus_build_info{version} on
+# each daemon's /metrics page reports this value. Defaults to the git
+# describe output; override with VERSION=... for release builds.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -X repro/internal/version.Version=$(VERSION)
+
 # Seed for the chaos suite's probabilistic failpoints; a failing run
 # reproduces with the same seed.
 JANUS_CHAOS_SEED ?= 1
@@ -37,7 +43,7 @@ lint-manifest:
 	$(GO) run ./cmd/janus-vet -write-manifest ./...
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags "$(LDFLAGS)" ./...
 
 test:
 	$(GO) test ./...
@@ -78,9 +84,10 @@ bench-membership:
 	$(GO) test -run '^$$' -bench . -benchtime 2s ./internal/membership/
 
 # Regenerates the numbers recorded in BENCH_observability.json: the cost of
-# the tracing gate at sampling rates 0 / 0.01 / 1.
+# the tracing gate at sampling rates 0 / 0.01 / 1, the audited decision
+# path, and the per-request sojourn decomposition.
 bench-observability:
-	$(GO) test -run '^$$' -bench Observability -benchtime 2s .
+	$(GO) test -run '^$$' -bench Observability -benchtime 2s . ./internal/qosserver/
 
 # Regenerates the numbers recorded in BENCH_failpoint.json: the disarmed
 # gate must stay ≤ 1 ns/op or it cannot live on the UDP hot paths.

@@ -13,6 +13,7 @@ import (
 	"io"
 	"net/http"
 	"testing"
+	"time"
 
 	"repro/internal/bucket"
 	"repro/internal/qosserver"
@@ -57,6 +58,31 @@ func BenchmarkObservabilityDecide(b *testing.B) {
 				srv.Decide(req)
 			}
 		})
+	}
+}
+
+// BenchmarkObservabilityDecideAudited measures the decision path with the
+// admission-audit ledger accounting every grant and admission — the cost
+// quoted in qosserver.Config.Audit's doc comment, to be read against
+// BenchmarkObservabilityDecide/untraced. The hour-long audit interval keeps
+// the background conservation pass out of the measurement window.
+func BenchmarkObservabilityDecideAudited(b *testing.B) {
+	srv, err := qosserver.New(qosserver.Config{
+		Addr:          "127.0.0.1:0",
+		TableKind:     table.KindSharded,
+		DefaultRule:   bucket.Rule{RefillRate: 1e12, Capacity: 1e12, Credit: 1e12},
+		Audit:         true,
+		AuditInterval: time.Hour,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	req := wire.Request{Key: "bench-key", Cost: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.ID = uint64(i)
+		srv.Decide(req)
 	}
 }
 

@@ -23,6 +23,29 @@ import (
 	"repro/internal/wire"
 )
 
+// attachFlightRecorder arranges for each daemon's /debug/events page — the
+// flight recorder's ordered control-plane transitions (epoch swaps,
+// handoffs, lease grants, failpoint fires, audit overspends) — to be dumped
+// into the test log when the test fails. addrs are debugz addresses; a
+// daemon that died with the failure just logs the fetch error.
+func attachFlightRecorder(t *testing.T, addrs ...string) {
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		for _, addr := range addrs {
+			resp, err := http.Get("http://" + addr + "/debug/events")
+			if err != nil {
+				t.Logf("flight recorder %s: %v", addr, err)
+				continue
+			}
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			t.Logf("flight recorder %s:\n%s", addr, body)
+		}
+	})
+}
+
 // daemon is one running Janus process with its stderr captured; the log is
 // dumped when the owning test fails, so a chaos failure is debuggable from
 // the daemon's own view of events.

@@ -48,6 +48,9 @@ func TestInvariantBoundedDefaultReply(t *testing.T) {
 		"-metrics-addr", routerDebug)
 	waitTCP(t, routerAddr)
 	warmHTTP(t, routerAddr, "chaos-warm")
+	// On failure, the flight recorders show the default-reply enter/exit
+	// edges and the failpoint fires that caused them, in order.
+	attachFlightRecorder(t, routerDebug, qosDebug)
 
 	// Black-hole the QoS server: every datagram it receives is dropped
 	// before the handler sees it, exactly like wire loss.

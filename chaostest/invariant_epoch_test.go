@@ -73,6 +73,9 @@ func TestInvariantSingleOwnerPerEpoch(t *testing.T) {
 	}
 	debugA := startRouter()
 	debugB := startRouter()
+	// On failure, dump both routers' flight recorders: the epoch-swap event
+	// order is exactly the evidence a single-owner violation needs.
+	attachFlightRecorder(t, debugA, debugB)
 	routerView := func(debug string) viewObs {
 		t.Helper()
 		var v viewObs

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/debugz"
+	"repro/internal/events"
 	"repro/internal/membership"
 	"repro/internal/metrics"
 )
@@ -73,8 +74,15 @@ func main() {
 	logger.Printf("membership coordinator on http://%s (ttl=%v)", svc.Addr(), *ttl)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGQUIT)
+	for s := range sig {
+		if s == syscall.SIGQUIT {
+			// Flight-recorder dump on demand (kill -QUIT).
+			events.Default.WriteTo(os.Stderr, "janus-coordinator")
+			continue
+		}
+		break
+	}
 	v := coord.View()
 	logger.Printf("shutdown at epoch %d with %d member(s)", v.Epoch, len(v.Backends))
 }

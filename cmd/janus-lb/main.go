@@ -17,6 +17,7 @@ import (
 	"syscall"
 
 	"repro/internal/debugz"
+	"repro/internal/events"
 	"repro/internal/lb"
 )
 
@@ -67,8 +68,15 @@ func main() {
 	logger.Printf("gateway load balancer on http://%s (%s, %d back ends)", l.Addr(), *policy, len(l.Backends()))
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGQUIT)
+	for s := range sig {
+		if s == syscall.SIGQUIT {
+			// Flight-recorder dump on demand (kill -QUIT).
+			events.Default.WriteTo(os.Stderr, "janus-lb")
+			continue
+		}
+		break
+	}
 	st := l.Stats()
 	fmt.Fprintf(os.Stderr, "janus-lb: requests=%d proxied=%d backendErrors=%d latency{%s}\n",
 		st.Requests, st.Proxied, st.BackendErrors, l.Latency().Snapshot())

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/debugz"
+	"repro/internal/events"
 	"repro/internal/lease"
 	"repro/internal/membership"
 	"repro/internal/router"
@@ -48,6 +49,8 @@ func main() {
 		traceSample  = flag.Float64("trace-sample", 0, "fraction of direct (non-LB) requests to trace [0,1]")
 		leaseOn      = flag.Bool("lease", false, "admit hot keys from local credit leases granted by the QoS servers")
 		leaseHot     = flag.Float64("lease-hot", lease.DefaultHotRate, "demand threshold (decisions/second) above which a key asks for a lease")
+		auditOn      = flag.Bool("audit", true, "run the lease-path admission-audit ledger (/debug/audit)")
+		auditIv      = flag.Duration("audit-interval", time.Second, "background admission-audit pass interval")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "janus-router ", log.LstdFlags|log.Lmicroseconds)
@@ -79,12 +82,14 @@ func main() {
 	}
 
 	rcfg := router.Config{
-		Addr:         *addr,
-		Backends:     initial,
-		Picker:       picker,
-		Transport:    transport.Config{Timeout: *timeout, Retries: *retries, MaxBatch: *maxBatch, MaxLinger: *maxLinger},
-		DefaultReply: *defaultReply,
-		Logger:       logger,
+		Addr:          *addr,
+		Backends:      initial,
+		Picker:        picker,
+		Transport:     transport.Config{Timeout: *timeout, Retries: *retries, MaxBatch: *maxBatch, MaxLinger: *maxLinger},
+		DefaultReply:  *defaultReply,
+		Audit:         *auditOn,
+		AuditInterval: *auditIv,
+		Logger:        logger,
 	}
 	if *leaseOn {
 		rcfg.Lease = &lease.TableConfig{HotRate: *leaseHot}
@@ -96,6 +101,20 @@ func main() {
 	defer r.Close()
 	r.Tracer().SetRate(*traceSample)
 
+	var poller *membership.Poller
+	if coord != nil {
+		poller = membership.NewPoller(coord, *pollIv, func(v membership.View) {
+			if err := r.UpdateView(v); err != nil {
+				logger.Printf("view epoch %d rejected: %v", v.Epoch, err)
+			}
+		})
+		if err := poller.Start(); err != nil {
+			logger.Fatalf("poll coordinator %s: %v", *coordAddr, err)
+		}
+		defer poller.Stop()
+		logger.Printf("following coordinator %s (poll=%v)", *coordAddr, *pollIv)
+	}
+
 	dbg, err := debugz.Serve(*metricsAddr, debugz.Options{
 		Service:  "janus-router",
 		Registry: r.Registry(),
@@ -104,7 +123,28 @@ func main() {
 			Name: "membership",
 			Help: "current routing view (epoch, backends)",
 			Fn:   func() any { return r.View() },
+		}, {
+			Name: "audit",
+			Help: "lease-path admission-audit ledger verdict",
+			Fn:   func() any { return r.AuditReport() },
 		}},
+		// Not ready when coordinator contact has gone stale beyond 3 poll
+		// intervals: the router is alive but may be routing on an obsolete
+		// view, so a load balancer should prefer its peers.
+		Ready: func() debugz.ReadyStatus {
+			st := debugz.ReadyStatus{Ready: true, Detail: map[string]any{
+				"view_epoch": r.View().Epoch,
+			}}
+			if poller != nil {
+				age := poller.ContactAge()
+				st.Detail["coordinator_contact_age_seconds"] = age.Seconds()
+				if age > 3*poller.Interval() {
+					st.Ready = false
+					st.Detail["membership_stale"] = true
+				}
+			}
+			return st
+		},
 		Logger: logger,
 	})
 	if err != nil {
@@ -118,22 +158,17 @@ func main() {
 	logger.Printf("request router on http://%s with %d QoS partitions (picker=%s timeout=%v retries=%d)",
 		r.Addr(), r.NumBackends(), picker.Kind(), *timeout, *retries)
 
-	if coord != nil {
-		poller := membership.NewPoller(coord, *pollIv, func(v membership.View) {
-			if err := r.UpdateView(v); err != nil {
-				logger.Printf("view epoch %d rejected: %v", v.Epoch, err)
-			}
-		})
-		if err := poller.Start(); err != nil {
-			logger.Fatalf("poll coordinator %s: %v", *coordAddr, err)
-		}
-		defer poller.Stop()
-		logger.Printf("following coordinator %s (poll=%v)", *coordAddr, *pollIv)
-	}
-
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGQUIT)
+	for s := range sig {
+		if s == syscall.SIGQUIT {
+			// Flight-recorder dump on demand: kill -QUIT and read recent
+			// epoch swaps, lease grants, and audit events off stderr.
+			events.Default.WriteTo(os.Stderr, "janus-router")
+			continue
+		}
+		break
+	}
 	st := r.Stats()
 	fmt.Fprintf(os.Stderr, "janus-router: requests=%d timeouts=%d defaultReplies=%d epoch=%d viewSwaps=%d lastRemap=%.3f latency{%s}\n",
 		st.Requests, st.Timeouts, st.DefaultReplies, st.Epoch, st.ViewSwaps, st.LastRemapFraction, r.Latency().Snapshot())

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/bucket"
 	"repro/internal/debugz"
+	"repro/internal/events"
 	"repro/internal/lease"
 	"repro/internal/membership"
 	"repro/internal/minisql"
@@ -51,6 +52,8 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "HTTP address for /metrics and /debug endpoints (empty disables)")
 		leaseFrac   = flag.Float64("lease-fraction", 0, "share of a bucket's refill rate leasable to routers, (0,1] (0 disables leasing)")
 		leaseTTL    = flag.Duration("lease-ttl", lease.DefaultTTL, "credit lease lifetime")
+		auditOn     = flag.Bool("audit", true, "run the online admission-audit ledger (/debug/audit)")
+		auditIv     = flag.Duration("audit-interval", time.Second, "background admission-audit pass interval")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "janusd ", log.LstdFlags|log.Lmicroseconds)
@@ -80,6 +83,8 @@ func main() {
 		Logger:             logger,
 		LeaseFraction:      *leaseFrac,
 		LeaseTTL:           *leaseTTL,
+		Audit:              *auditOn,
+		AuditInterval:      *auditIv,
 	}
 	srv, err := qosserver.New(cfg)
 	if err != nil {
@@ -92,6 +97,25 @@ func main() {
 		}
 		logger.Printf("preloaded %d rules", srv.TableLen())
 	}
+	var beater *membership.Beater
+	if *coordAddr != "" {
+		// Register with the membership coordinator and keep beating so the
+		// node stays in the published view. The member name doubles as the
+		// routers' dial address, so it defaults to the UDP listen address;
+		// the advertised handoff address is the replication listener, which
+		// receives bucket state during rebalancing.
+		name := *memberName
+		if name == "" {
+			name = srv.Addr()
+		}
+		beater = membership.NewBeater(&membership.Client{Endpoint: *coordAddr}, name, srv.ReplicationAddr(), *beatIv)
+		if err := beater.Start(); err != nil {
+			logger.Fatalf("join coordinator %s: %v", *coordAddr, err)
+		}
+		defer beater.Stop()
+		logger.Printf("joined coordinator %s as %q (beat=%v)", *coordAddr, name, *beatIv)
+	}
+
 	dbg, err := debugz.Serve(*metricsAddr, debugz.Options{
 		Service:  "janusd",
 		Registry: srv.Registry(),
@@ -100,7 +124,34 @@ func main() {
 			Name: "qos",
 			Help: "leaky-bucket table snapshot (key, credit, capacity, refill)",
 			Fn:   func() any { return srv.SnapshotBuckets(1024) },
+		}, {
+			Name: "audit",
+			Help: "admission-audit ledger verdict (conservation check over every bucket)",
+			Fn:   func() any { return srv.AuditReport() },
 		}},
+		// Not ready when rule sync or coordinator contact has gone stale
+		// beyond 3 intervals: the node is alive (/healthz still answers)
+		// but is deciding on rules, or under a membership view, that the
+		// rest of the cluster may have moved past.
+		Ready: func() debugz.ReadyStatus {
+			st := debugz.ReadyStatus{Ready: true, Detail: map[string]any{}}
+			if age, enabled := srv.SyncAge(); enabled {
+				st.Detail["rules_sync_age_seconds"] = age.Seconds()
+				if age > 3**syncIv {
+					st.Ready = false
+					st.Detail["rules_sync_stale"] = true
+				}
+			}
+			if beater != nil {
+				age := beater.ContactAge()
+				st.Detail["coordinator_contact_age_seconds"] = age.Seconds()
+				if age > 3*beater.Interval() {
+					st.Ready = false
+					st.Detail["membership_stale"] = true
+				}
+			}
+			return st
+		},
 		Logger: logger,
 	})
 	if err != nil {
@@ -116,24 +167,6 @@ func main() {
 		logger.Printf("HA replication on tcp://%s", srv.ReplicationAddr())
 	}
 
-	if *coordAddr != "" {
-		// Register with the membership coordinator and keep beating so the
-		// node stays in the published view. The member name doubles as the
-		// routers' dial address, so it defaults to the UDP listen address;
-		// the advertised handoff address is the replication listener, which
-		// receives bucket state during rebalancing.
-		name := *memberName
-		if name == "" {
-			name = srv.Addr()
-		}
-		beater := membership.NewBeater(&membership.Client{Endpoint: *coordAddr}, name, srv.ReplicationAddr(), *beatIv)
-		if err := beater.Start(); err != nil {
-			logger.Fatalf("join coordinator %s: %v", *coordAddr, err)
-		}
-		defer beater.Stop()
-		logger.Printf("joined coordinator %s as %q (beat=%v)", *coordAddr, name, *beatIv)
-	}
-
 	var rep *qosserver.Replicator
 	if *follow != "" {
 		rep = qosserver.NewReplicator(srv, *follow, *followIv)
@@ -144,11 +177,18 @@ func main() {
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1, syscall.SIGQUIT)
 	for s := range sig {
+		if s == syscall.SIGQUIT {
+			// Flight-recorder dump on demand: kill -QUIT a misbehaving node
+			// and read the last few thousand operational events off stderr.
+			events.Default.WriteTo(os.Stderr, "janusd")
+			continue
+		}
 		if s == syscall.SIGUSR1 && rep != nil {
 			// Promotion: stop pulling, keep serving the warm table.
 			rep.Stop()
+			events.Record("janusd", "promote", srv.Addr(), 0)
 			logger.Printf("promoted: replication stopped, serving as master")
 			rep = nil
 			continue

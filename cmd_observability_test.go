@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/bucket"
+	"repro/internal/events"
 	"repro/internal/minisql"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -64,18 +65,22 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping process-level integration in -short mode")
 	}
-	bins := buildBinaries(t, "janus-dbd", "janusd", "janus-router", "janus-lb")
+	bins := buildBinaries(t, "janus-dbd", "janusd", "janus-router", "janus-lb", "janus-coordinator")
 
 	dbAddr := freePort(t)
 	qosAddr := freePort(t)
 	routerAddr := freePort(t)
 	lbAddr := freePort(t)
+	coordAddr := freePort(t)
 	qosMetrics := freePort(t)
 	routerMetrics := freePort(t)
 	lbMetrics := freePort(t)
+	coordMetrics := freePort(t)
 
 	startDaemon(t, bins["janus-dbd"], "-addr", dbAddr)
+	startDaemon(t, bins["janus-coordinator"], "-addr", coordAddr, "-metrics-addr", coordMetrics)
 	waitTCP(t, dbAddr)
+	waitTCP(t, coordAddr)
 
 	pool := minisql.NewPool(dbAddr, 2)
 	defer pool.Close()
@@ -89,10 +94,14 @@ func TestObservabilityEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The QoS server joins through the coordinator and the router follows
+	// its view, so the run exercises the membership control plane and the
+	// router's flight recorder sees a real epoch swap.
 	startDaemon(t, bins["janusd"], "-addr", qosAddr, "-db", dbAddr,
-		"-sync", "0", "-checkpoint", "0", "-metrics-addr", qosMetrics)
-	startDaemon(t, bins["janus-router"], "-addr", routerAddr, "-backends", qosAddr,
-		"-timeout", "50ms", "-retries", "5", "-metrics-addr", routerMetrics)
+		"-sync", "0", "-checkpoint", "0", "-metrics-addr", qosMetrics,
+		"-coordinator", coordAddr)
+	startDaemon(t, bins["janus-router"], "-addr", routerAddr, "-coordinator", coordAddr,
+		"-poll", "100ms", "-timeout", "50ms", "-retries", "5", "-metrics-addr", routerMetrics)
 	waitTCP(t, routerAddr)
 	// Trace every request: the LB is the sampling edge.
 	startDaemon(t, bins["janus-lb"], "-addr", lbAddr, "-backends", routerAddr,
@@ -233,10 +242,95 @@ func TestObservabilityEndToEnd(t *testing.T) {
 		t.Fatalf("carol's bucket missing from /debug/qos: %v", buckets)
 	}
 
-	// --- /healthz and the index answer on every tier. ---
-	for _, addr := range []string{qosMetrics, routerMetrics, lbMetrics} {
+	// --- /healthz, /readyz, and the index answer on every tier. ---
+	for _, addr := range []string{qosMetrics, routerMetrics, lbMetrics, coordMetrics} {
 		if body := httpGet(t, "http://"+addr+"/healthz"); body != "ok\n" {
 			t.Fatalf("%s/healthz = %q", addr, body)
 		}
+		var ready struct {
+			Ready bool `json:"ready"`
+		}
+		if err := json.Unmarshal([]byte(httpGet(t, "http://"+addr+"/readyz")), &ready); err != nil {
+			t.Fatalf("%s/readyz: %v", addr, err)
+		}
+		if !ready.Ready {
+			t.Fatalf("%s/readyz not ready with a live coordinator", addr)
+		}
+	}
+
+	// --- Every tier identifies its build. ---
+	for _, addr := range []string{qosMetrics, routerMetrics, lbMetrics, coordMetrics} {
+		exp := httpGet(t, "http://"+addr+"/metrics")
+		if !strings.Contains(exp, "janus_build_info{") {
+			t.Fatalf("%s/metrics missing janus_build_info:\n%s", addr, exp)
+		}
+	}
+
+	// --- Per-stage sojourn decomposition on the QoS server. ---
+	// observeSojourn runs after the response datagram leaves, so the last
+	// request's sample can trail the client's view of the reply briefly.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		qosExp = httpGet(t, "http://"+qosMetrics+"/metrics")
+		if promValue(t, qosExp, `janus_qos_sojourn_seconds_count{stage="total"}`) >= 7 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sojourn total count never reached 7:\n%s", qosExp)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for _, stage := range []string{"queue", "decide", "send", "total"} {
+		if v := promValue(t, qosExp, fmt.Sprintf(`janus_qos_sojourn_seconds_count{stage=%q}`, stage)); v < 7 {
+			t.Fatalf("sojourn stage %q count = %v, want >= 7", stage, v)
+		}
+		// The cumulative +Inf bucket closes every stage's ladder.
+		if !strings.Contains(qosExp, fmt.Sprintf(`janus_qos_sojourn_seconds_bucket{stage=%q,le="+Inf"}`, stage)) {
+			t.Fatalf("sojourn stage %q missing +Inf bucket:\n%s", stage, qosExp)
+		}
+	}
+
+	// --- The admission-audit ledger holds under real load. ---
+	var auditReport struct {
+		Verdict string `json:"verdict"`
+		Buckets int    `json:"buckets"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, "http://"+qosMetrics+"/debug/audit")), &auditReport); err != nil {
+		t.Fatalf("bad /debug/audit JSON: %v", err)
+	}
+	if auditReport.Verdict != "ok" || auditReport.Buckets == 0 {
+		t.Fatalf("janusd audit = %+v, want ok over >= 1 bucket", auditReport)
+	}
+	if v := promValue(t, qosExp, "janus_qos_audit_overspend_total"); v != 0 {
+		t.Fatalf("janus_qos_audit_overspend_total = %v on an honest run", v)
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, "http://"+routerMetrics+"/debug/audit")), &auditReport); err != nil {
+		t.Fatalf("bad router /debug/audit JSON: %v", err)
+	}
+	if auditReport.Verdict != "ok" {
+		t.Fatalf("router audit verdict = %q, want ok", auditReport.Verdict)
+	}
+
+	// --- The flight recorder holds the epoch swap the gauges only imply. ---
+	routerExp = httpGet(t, "http://"+routerMetrics+"/metrics")
+	epoch := promValue(t, routerExp, "janus_router_view_epoch")
+	if epoch < 1 {
+		t.Fatalf("janus_router_view_epoch = %v, want >= 1 after joining the coordinator", epoch)
+	}
+	var evDump events.Dump
+	if err := json.Unmarshal([]byte(httpGet(t, "http://"+routerMetrics+"/debug/events")), &evDump); err != nil {
+		t.Fatalf("bad /debug/events JSON: %v", err)
+	}
+	if evDump.Service != "janus-router" || evDump.Recorded == 0 {
+		t.Fatalf("router event dump service=%q recorded=%d", evDump.Service, evDump.Recorded)
+	}
+	swapAt := -1.0
+	for _, e := range evDump.Events {
+		if e.Component == "router" && e.Kind == "epoch-swap" && e.Value > swapAt {
+			swapAt = e.Value
+		}
+	}
+	if swapAt != epoch {
+		t.Fatalf("flight recorder's latest epoch-swap = %v, gauge says %v:\n%+v", swapAt, epoch, evDump.Events)
 	}
 }

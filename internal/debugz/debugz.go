@@ -3,10 +3,13 @@
 //
 //	/metrics           Prometheus text exposition of the daemon's registry
 //	/debug/traces      JSON dump of the daemon's trace recorder
+//	/debug/events      flight-recorder dump (the process-global event ring)
 //	/debug/failpoints  fault-injection registry (list and arm; chaos harness)
 //	/debug/<name>      JSON snapshot from a daemon-provided Section
 //	/debug/pprof/*     the standard net/http/pprof profiles
-//	/healthz           liveness probe ("ok")
+//	/healthz           liveness probe ("ok": the process is serving)
+//	/readyz            readiness probe (503 + JSON detail when the daemon
+//	                   should stop taking traffic, e.g. stale membership)
 //	/                  plain-text index of everything above
 //
 // The paper's evaluation (§V) reads throughput and latency out of each tier
@@ -21,12 +24,15 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sort"
 	"sync"
 
+	"repro/internal/events"
 	"repro/internal/failpoint"
 	"repro/internal/metrics"
 	"repro/internal/trace"
+	"repro/internal/version"
 )
 
 // Section is one daemon-specific debug page: Fn's return value is rendered
@@ -41,6 +47,15 @@ type Section struct {
 	Fn func() any
 }
 
+// ReadyStatus is one readiness verdict with its supporting evidence,
+// rendered as the /readyz JSON body.
+type ReadyStatus struct {
+	Ready bool `json:"ready"`
+	// Detail carries the probe's evidence — view epoch, staleness ages,
+	// sync ages — so a 503 explains itself without a second request.
+	Detail map[string]any `json:"detail,omitempty"`
+}
+
 // Options configures a debug mux.
 type Options struct {
 	// Service names the daemon (shown on the index and in trace dumps).
@@ -51,6 +66,10 @@ type Options struct {
 	Tracer *trace.Recorder
 	// Sections are additional /debug/<name> pages.
 	Sections []Section
+	// Ready computes the /readyz verdict per probe; nil means
+	// always-ready. Liveness (/healthz) is separate and unconditional:
+	// a daemon with a stale view is alive but should stop taking traffic.
+	Ready func() ReadyStatus
 	// Logger receives serve errors; nil discards.
 	Logger *log.Logger
 }
@@ -60,9 +79,26 @@ func Mux(opts Options) *http.ServeMux {
 	mux := http.NewServeMux()
 	var index []string
 	if opts.Registry != nil {
+		// Every daemon that exposes metrics identifies its build: the
+		// constant-1 gauge's labels carry the stamped version and the Go
+		// toolchain, the standard build_info idiom.
+		opts.Registry.GaugeFunc("janus_build_info",
+			"build identity of this daemon; the value is always 1, the labels carry the information",
+			func() float64 { return 1 },
+			metrics.Label{Key: "version", Value: version.Version},
+			metrics.Label{Key: "go", Value: runtime.Version()})
 		mux.Handle("/metrics", opts.Registry.Handler())
 		index = append(index, "/metrics — Prometheus text exposition")
 	}
+	// The flight recorder is process-global (events.Default), so the dump
+	// needs no per-daemon wiring: any daemon that mounts debugz exposes the
+	// last few thousand operational events — epoch swaps, handoffs, lease
+	// grants, failpoint fires, audit overspends.
+	svc := opts.Service
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, events.Default.Dump(svc))
+	})
+	index = append(index, "/debug/events — flight recorder (recent operational events, oldest first)")
 	if opts.Tracer != nil {
 		tracer, service := opts.Tracer, opts.Service
 		mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
@@ -94,6 +130,21 @@ func Mux(opts Options) *http.ServeMux {
 		}
 	})
 	index = append(index, "/healthz — liveness probe")
+	ready := opts.Ready
+	if ready == nil {
+		ready = func() ReadyStatus { return ReadyStatus{Ready: true} }
+	}
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		st := ready()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if !st.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+	index = append(index, "/readyz — readiness probe (503 + detail when the daemon should stop taking traffic)")
 	sort.Strings(index)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {

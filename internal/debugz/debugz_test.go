@@ -5,11 +5,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 
+	"repro/internal/events"
 	"repro/internal/metrics"
 	"repro/internal/trace"
+	"repro/internal/version"
 )
 
 func testOptions() Options {
@@ -140,5 +143,74 @@ func TestServeDisabled(t *testing.T) {
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestMuxReadyz(t *testing.T) {
+	// nil Ready: always ready.
+	mux := Mux(testOptions())
+	rec, body := get(t, mux, "/readyz")
+	if rec.Code != 200 || !strings.Contains(body, `"ready": true`) {
+		t.Fatalf("nil-Ready readyz: code=%d body:\n%s", rec.Code, body)
+	}
+
+	// A failing probe returns 503 with its evidence in the body.
+	opts := testOptions()
+	opts.Ready = func() ReadyStatus {
+		return ReadyStatus{Ready: false, Detail: map[string]any{"view_age_seconds": 42.5}}
+	}
+	mux = Mux(opts)
+	rec, body = get(t, mux, "/readyz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("stale readyz code = %d, want 503", rec.Code)
+	}
+	var st ReadyStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("bad readyz JSON: %v\n%s", err, body)
+	}
+	if st.Ready || st.Detail["view_age_seconds"] != 42.5 {
+		t.Fatalf("readyz detail lost: %+v", st)
+	}
+
+	// Liveness is unconditional: the same daemon still answers /healthz ok.
+	rec, body = get(t, mux, "/healthz")
+	if rec.Code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz on a not-ready daemon: code=%d body=%q", rec.Code, body)
+	}
+}
+
+func TestMuxEvents(t *testing.T) {
+	events.Record("test", "probe", "debugz", 7)
+	mux := Mux(testOptions())
+	rec, body := get(t, mux, "/debug/events")
+	if rec.Code != 200 {
+		t.Fatalf("code=%d", rec.Code)
+	}
+	var d events.Dump
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if d.Service != "testd" || d.Recorded == 0 {
+		t.Fatalf("events dump empty or mislabelled: %+v", d)
+	}
+	var found bool
+	for _, e := range d.Events {
+		if e.Component == "test" && e.Kind == "probe" && e.Key == "debugz" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("recorded event missing from /debug/events dump")
+	}
+}
+
+func TestMuxBuildInfo(t *testing.T) {
+	mux := Mux(testOptions())
+	rec, body := get(t, mux, "/metrics")
+	if rec.Code != 200 {
+		t.Fatalf("code=%d", rec.Code)
+	}
+	if !strings.Contains(body, `janus_build_info{go="`+runtime.Version()+`",version="`+version.Version+`"} 1`) {
+		t.Fatalf("metrics page lacks janus_build_info:\n%s", body)
 	}
 }

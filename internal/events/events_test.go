@@ -1,0 +1,97 @@
+package events
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRingRecordAndSnapshotOrder(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 10; i++ {
+		r.Record("test", "tick", fmt.Sprintf("k%d", i), float64(i))
+	}
+	evs := r.Snapshot()
+	if len(evs) != 10 {
+		t.Fatalf("snapshot returned %d events, want 10", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d; snapshot must be oldest→newest", i, e.Seq)
+		}
+		if e.Value != float64(i) || e.Key != fmt.Sprintf("k%d", i) {
+			t.Fatalf("event %d carries %q/%v, want k%d/%d", i, e.Key, e.Value, i, i)
+		}
+		if e.Nanos == 0 {
+			t.Fatalf("event %d has no timestamp", i)
+		}
+	}
+}
+
+func TestRingWrapEvictsOldest(t *testing.T) {
+	r := NewRing(16) // exactly 16 slots
+	for i := 0; i < 40; i++ {
+		r.Record("test", "tick", "", float64(i))
+	}
+	evs := r.Snapshot()
+	if len(evs) != 16 {
+		t.Fatalf("wrapped ring holds %d events, want 16", len(evs))
+	}
+	if evs[0].Seq != 24 || evs[len(evs)-1].Seq != 39 {
+		t.Fatalf("wrapped ring spans seq %d..%d, want 24..39", evs[0].Seq, evs[len(evs)-1].Seq)
+	}
+	d := r.Dump("svc")
+	if d.Recorded != 40 || d.Dropped != 24 {
+		t.Fatalf("dump reports recorded=%d dropped=%d, want 40/24", d.Recorded, d.Dropped)
+	}
+}
+
+func TestRingConcurrentRecord(t *testing.T) {
+	r := NewRing(1024)
+	const writers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Record("test", "concurrent", "", float64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Recorded(); got != writers*per {
+		t.Fatalf("recorded %d events, want %d", got, writers*per)
+	}
+	evs := r.Snapshot()
+	if len(evs) != 1024 {
+		t.Fatalf("snapshot holds %d events, want full ring of 1024", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("snapshot not strictly seq-ordered at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestDumpJSONShape(t *testing.T) {
+	r := NewRing(16)
+	r.Recordf("router", "epoch-swap", "", 7, "backends=%d", 3)
+	var buf bytes.Buffer
+	if err := r.WriteTo(&buf, "janus-router"); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	var d Dump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if d.Service != "janus-router" || len(d.Events) != 1 {
+		t.Fatalf("dump = %+v, want service janus-router with one event", d)
+	}
+	e := d.Events[0]
+	if e.Component != "router" || e.Kind != "epoch-swap" || e.Value != 7 || e.Detail != "backends=3" {
+		t.Fatalf("event = %+v", e)
+	}
+}

@@ -61,6 +61,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/events"
 )
 
 // Kind is the behaviour an armed failpoint injects.
@@ -246,6 +248,11 @@ func (f *FP) eval(peer string, havePeer bool) Outcome {
 		return Outcome{}
 	}
 	f.hits.Add(1)
+	// Every fire lands in the flight recorder: when a chaos run trips an
+	// invariant, the event dump shows which injected faults preceded it.
+	// Only armed failpoints ever reach this line, so the steady-state
+	// disarmed cost is untouched.
+	events.Recordf("failpoint", "fire", f.name, float64(f.hits.Load()), "kind=%s peer=%s", a.Kind, peer)
 	switch a.Kind {
 	case Panic:
 		panic(fmt.Sprintf("failpoint: %s: injected panic", f.name))

@@ -9,6 +9,7 @@ import (
 	"net/url"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/failpoint"
@@ -193,6 +194,11 @@ type Beater struct {
 	addr     string
 	interval time.Duration
 
+	// lastOKNs is the wall time of the last heartbeat the coordinator
+	// acknowledged — the readiness probe's staleness input (a member whose
+	// beats stop landing is about to be ejected from the view).
+	lastOKNs atomic.Int64
+
 	quit chan struct{}
 	done chan struct{}
 	once sync.Once
@@ -214,6 +220,7 @@ func (b *Beater) Start() error {
 	if _, err := b.client.Heartbeat(b.name, b.addr); err != nil {
 		return err
 	}
+	b.lastOKNs.Store(time.Now().UnixNano())
 	go b.loop()
 	return nil
 }
@@ -227,10 +234,25 @@ func (b *Beater) loop() {
 		case <-b.quit:
 			return
 		case <-t.C:
-			b.client.Heartbeat(b.name, b.addr)
+			if _, err := b.client.Heartbeat(b.name, b.addr); err == nil {
+				b.lastOKNs.Store(time.Now().UnixNano())
+			}
 		}
 	}
 }
+
+// ContactAge reports how long ago the coordinator last acknowledged a
+// heartbeat (zero before Start succeeds).
+func (b *Beater) ContactAge() time.Duration {
+	at := b.lastOKNs.Load()
+	if at == 0 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - at)
+}
+
+// Interval returns the configured heartbeat interval.
+func (b *Beater) Interval() time.Duration { return b.interval }
 
 // Stop halts the beater; the member will be ejected once its TTL expires.
 func (b *Beater) Stop() {
@@ -250,6 +272,11 @@ type Poller struct {
 	mu    sync.Mutex
 	epoch uint64
 	seen  bool
+
+	// lastOKNs is the wall time of the last successful view fetch — the
+	// router readiness probe's staleness input (a router that cannot reach
+	// its coordinator is routing on a potentially obsolete view).
+	lastOKNs atomic.Int64
 
 	quit chan struct{}
 	done chan struct{}
@@ -282,6 +309,7 @@ func (p *Poller) PollOnce() error {
 	if err != nil {
 		return err
 	}
+	p.lastOKNs.Store(time.Now().UnixNano())
 	p.mu.Lock()
 	fresh := !p.seen || v.Epoch > p.epoch
 	if fresh {
@@ -308,6 +336,19 @@ func (p *Poller) loop() {
 		}
 	}
 }
+
+// ContactAge reports how long ago a view fetch last succeeded (zero before
+// the first success).
+func (p *Poller) ContactAge() time.Duration {
+	at := p.lastOKNs.Load()
+	if at == 0 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - at)
+}
+
+// Interval returns the configured poll interval.
+func (p *Poller) Interval() time.Duration { return p.interval }
 
 // Stop halts the poller.
 func (p *Poller) Stop() {

@@ -197,6 +197,34 @@ func (h *Histogram) Quantile(q float64) int64 {
 // Percentile is Quantile with p expressed in percent (e.g. 99.9).
 func (h *Histogram) Percentile(p float64) int64 { return h.Quantile(p / 100) }
 
+// CumulativeCounts returns, for each bound (ascending), the number of
+// recorded observations v with v <= bound — the Prometheus cumulative
+// `_bucket` semantics. An observation is attributed to a bound when its
+// whole log-bucket fits under it (bucketHigh <= bound), so the answer is
+// deterministic and identical for every daemon regardless of the exact
+// values recorded — which is what makes the exported series aggregatable
+// across the fleet. One pass over the bucket array.
+func (h *Histogram) CumulativeCounts(bounds []int64) []int64 {
+	out := make([]int64, len(bounds))
+	var cum int64
+	bi := 0
+	for i := 0; i < histBuckets && bi < len(bounds); i++ {
+		hi := bucketHigh(i)
+		for bi < len(bounds) && hi > bounds[bi] {
+			out[bi] = cum
+			bi++
+		}
+		if bi >= len(bounds) {
+			break
+		}
+		cum += h.counts[i].Load()
+	}
+	for ; bi < len(bounds); bi++ {
+		out[bi] = cum
+	}
+	return out
+}
+
 // Merge adds all observations recorded in other into h. Concurrent Records
 // on other during the merge may be partially included.
 func (h *Histogram) Merge(other *Histogram) {

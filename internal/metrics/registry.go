@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -30,7 +31,7 @@ func (k kind) promType() string {
 	case kindCounter:
 		return "counter"
 	case kindHistogram:
-		return "summary"
+		return "histogram"
 	default:
 		return "gauge"
 	}
@@ -52,6 +53,10 @@ type family struct {
 	help   string
 	kind   kind
 	series map[string]*series
+	// scale converts recorded int64 values to the exposed unit for
+	// histogram families (1e-9 exposes nanosecond recordings as seconds).
+	// 0 means unscaled: values render as plain integers.
+	scale float64
 }
 
 // Registry is a named collection of counters, gauges, and histograms with
@@ -170,6 +175,44 @@ func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...
 	r.mu.Unlock()
 }
 
+// RegisterHistogramScaled is RegisterHistogram with a unit conversion
+// applied at exposition time: every value, sum, and bucket bound of the
+// family renders multiplied by scale. Histograms record int64 (typically
+// nanoseconds); a scale of 1e-9 exposes the family in seconds, matching
+// the Prometheus base-unit convention for *_seconds names. The scale is a
+// family property: re-registering the family with a different non-zero
+// scale panics.
+func (r *Registry) RegisterHistogramScaled(name, help string, h *Histogram, scale float64, labels ...Label) {
+	s := r.get(name, help, kindHistogram, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f.scale != 0 && scale != 0 && f.scale != scale {
+		panic(fmt.Sprintf("metrics: %s registered with scales %g and %g", name, f.scale, scale))
+	}
+	if scale != 0 {
+		f.scale = scale
+	}
+	s.h = h
+}
+
+// HistogramScaled returns the histogram registered under name+labels with
+// an exposition scale, creating it on first use (see
+// RegisterHistogramScaled for scale semantics).
+func (r *Registry) HistogramScaled(name, help string, scale float64, labels ...Label) *Histogram {
+	s := r.get(name, help, kindHistogram, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f.scale != 0 && scale != 0 && f.scale != scale {
+		panic(fmt.Sprintf("metrics: %s registered with scales %g and %g", name, f.scale, scale))
+	}
+	if scale != 0 {
+		f.scale = scale
+	}
+	return s.h
+}
+
 // snapshotFamilies copies the family structure under the lock so exposition
 // renders without holding it (GaugeFunc callbacks may take their own locks).
 func (r *Registry) snapshotFamilies() []*family {
@@ -177,7 +220,7 @@ func (r *Registry) snapshotFamilies() []*family {
 	defer r.mu.Unlock()
 	out := make([]*family, 0, len(r.families))
 	for _, f := range r.families {
-		cp := &family{name: f.name, help: f.help, kind: f.kind, series: make(map[string]*series, len(f.series))}
+		cp := &family{name: f.name, help: f.help, kind: f.kind, scale: f.scale, series: make(map[string]*series, len(f.series))}
 		for ls, s := range f.series {
 			// Copy the series value under the lock: fn and h may be replaced
 			// by GaugeFunc/RegisterHistogram after creation.
@@ -192,7 +235,9 @@ func (r *Registry) snapshotFamilies() []*family {
 
 // WriteProm renders the registry in the Prometheus text exposition format
 // (version 0.0.4): # HELP / # TYPE preambles followed by one line per
-// series. Histograms render as summaries with p50/p90/p99/p99.9 quantiles.
+// series. Histogram families render cumulative `_bucket`/`le` series over
+// the fixed promBounds ladder (aggregatable across daemons) plus the
+// legacy p50/p90/p99/p99.9 quantile lines, `_sum`, and `_count`.
 func (r *Registry) WriteProm(w io.Writer) {
 	for _, f := range r.snapshotFamilies() {
 		if f.help != "" {
@@ -216,25 +261,65 @@ func (r *Registry) WriteProm(w io.Writer) {
 					fmt.Fprintf(w, "%s%s %g\n", f.name, ls, s.fn())
 				}
 			case kindHistogram:
-				writePromSummary(w, f.name, ls, s.h)
+				writePromHistogram(w, f.name, ls, s.h, f.scale)
 			}
 		}
 	}
 }
 
-// writePromSummary renders one histogram as a summary family member.
-func writePromSummary(w io.Writer, name, labels string, h *Histogram) {
-	quantile := func(q string) string {
-		if labels == "" {
-			return `{quantile="` + q + `"}`
-		}
-		return labels[:len(labels)-1] + `,quantile="` + q + `"}`
+// promBounds is the fixed 1-2-5 bucket ladder every histogram family
+// exposes, in RECORDED units (12 decades: 1 ns to ~500 s for nanosecond
+// recordings; 1 to 5·10¹¹ for plain counts). The ladder is identical for
+// every daemon and every family, which is the whole point: cumulative
+// counts at identical bounds sum correctly across a fleet, where the
+// per-daemon summary quantiles never could.
+var promBounds = func() []int64 {
+	out := make([]int64, 0, 36)
+	decade := int64(1)
+	for d := 0; d < 12; d++ {
+		out = append(out, decade, 2*decade, 5*decade)
+		decade *= 10
 	}
-	fmt.Fprintf(w, "%s%s %d\n", name, quantile("0.5"), h.Percentile(50))
-	fmt.Fprintf(w, "%s%s %d\n", name, quantile("0.9"), h.Percentile(90))
-	fmt.Fprintf(w, "%s%s %d\n", name, quantile("0.99"), h.Percentile(99))
-	fmt.Fprintf(w, "%s%s %d\n", name, quantile("0.999"), h.Percentile(99.9))
-	fmt.Fprintf(w, "%s_sum%s %d\n", name, labels, h.Sum())
+	return out
+}()
+
+// mergeLabel splices one more k="v" pair into a rendered label suffix.
+func mergeLabel(labels, kv string) string {
+	if labels == "" {
+		return "{" + kv + "}"
+	}
+	return labels[:len(labels)-1] + "," + kv + "}"
+}
+
+// formatScaled renders a recorded value in the family's exposed unit:
+// plain integer when unscaled, value×scale otherwise. 12 significant
+// digits round away binary float artifacts (5×10⁻⁸ must render "5e-08",
+// not "5.0000000000000004e-08") while keeping every distinguishable
+// recorded value distinguishable in the exposition.
+func formatScaled(v int64, scale float64) string {
+	if scale == 0 {
+		return strconv.FormatInt(v, 10)
+	}
+	return strconv.FormatFloat(float64(v)*scale, 'g', 12, 64)
+}
+
+// writePromHistogram renders one histogram series: cumulative buckets over
+// the promBounds ladder, the legacy quantile lines, sum, and count.
+func writePromHistogram(w io.Writer, name, labels string, h *Histogram, scale float64) {
+	counts := h.CumulativeCounts(promBounds)
+	for i, b := range promBounds {
+		le := mergeLabel(labels, `le="`+formatScaled(b, scale)+`"`)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, le, counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabel(labels, `le="+Inf"`), h.Count())
+	for _, q := range [...]struct {
+		label string
+		p     float64
+	}{{"0.5", 50}, {"0.9", 90}, {"0.99", 99}, {"0.999", 99.9}} {
+		ql := mergeLabel(labels, `quantile="`+q.label+`"`)
+		fmt.Fprintf(w, "%s%s %s\n", name, ql, formatScaled(h.Percentile(q.p), scale))
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatScaled(h.Sum(), scale))
 	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
 }
 

@@ -100,14 +100,16 @@ func TestRegistryHistogramSummary(t *testing.T) {
 	r.WriteProm(&sb)
 	out := sb.String()
 	for _, want := range []string{
-		"# TYPE latency_ns summary",
+		"# TYPE latency_ns histogram",
 		`latency_ns{quantile="0.5"}`,
 		`latency_ns{quantile="0.99"}`,
+		`latency_ns_bucket{le="200000"} 100`,
+		`latency_ns_bucket{le="+Inf"} 100`,
 		"latency_ns_sum ",
 		"latency_ns_count 100",
 	} {
 		if !strings.Contains(out, want) {
-			t.Fatalf("summary missing %q:\n%s", want, out)
+			t.Fatalf("histogram exposition missing %q:\n%s", want, out)
 		}
 	}
 }

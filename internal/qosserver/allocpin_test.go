@@ -156,6 +156,59 @@ func TestAllocPinBatch32(t *testing.T) {
 	}
 }
 
+// TestAllocPinSojournObserve pins the per-packet sojourn decomposition —
+// four histogram records plus the rolling current-sojourn store — at zero:
+// it runs once per datagram on the worker loop, after every response.
+func TestAllocPinSojournObserve(t *testing.T) {
+	skipIfInstrumented(t)
+	budget := pinBudget(t, "sojourn_observe")
+	s := newPinServer(t)
+
+	var ns int64
+	got := testing.AllocsPerRun(200, func() {
+		ns += 4000
+		s.observeSojourn(ns, ns+1000, ns+2000, ns+3000)
+	})
+	if got != budget {
+		t.Errorf("observeSojourn: %v allocs/op, budget %v (BENCH_allocs.json)", got, budget)
+	}
+}
+
+// TestAllocPinAuditedDecide pins the audited singleton decision: with
+// Config.Audit enabled every admission additionally pays the ledger's
+// sharded map read plus a lock-free float add, and that surcharge must be
+// allocation-free too — auditing is meant to run in production.
+func TestAllocPinAuditedDecide(t *testing.T) {
+	skipIfInstrumented(t)
+	budget := pinBudget(t, "singleton_decide_audited")
+	s, err := New(Config{
+		Addr:        "127.0.0.1:0",
+		DefaultRule: bucket.Rule{RefillRate: 1e9, Capacity: 1e9, Credit: 1e9},
+		Audit:       true,
+		// Keep the background audit pass out of the measurement window:
+		// AllocsPerRun counts process-wide allocations.
+		AuditInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	req := wire.Request{ID: 9, Key: "alloc-pin-audited", Cost: 1}
+	var denied bool
+	got := testing.AllocsPerRun(200, func() {
+		if resp := s.Decide(req); !resp.Allow {
+			denied = true
+		}
+	})
+	if denied {
+		t.Fatal("pinned loop hit the deny path; the pin measured the wrong path")
+	}
+	if got != budget {
+		t.Errorf("audited Decide: %v allocs/op, budget %v (BENCH_allocs.json)", got, budget)
+	}
+}
+
 // TestAllocPinLeaseTableHit pins the router-side lease-table hit: a live
 // lease admits locally — demand observation, epoch check, delegated bucket
 // spend — without touching the wire or the heap.

@@ -179,11 +179,7 @@ func (s *Server) applySnapshot(entries []haEntry) {
 		if e.Rule.Validate() != nil {
 			continue
 		}
-		var opts []bucket.Option
-		if s.cfg.RefillInterval > 0 {
-			opts = append(opts, bucket.WithTickRefill())
-		}
-		s.table.Put(e.Rule.Key, bucket.New(e.Rule, now, opts...))
+		s.table.Put(e.Rule.Key, s.newBucket(e.Rule, now))
 		if e.Default {
 			s.defaults.Store(e.Rule.Key, struct{}{})
 		} else {

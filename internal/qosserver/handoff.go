@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/bucket"
+	"repro/internal/events"
 	"repro/internal/failpoint"
 )
 
@@ -80,6 +81,7 @@ func (s *Server) Rebalance(owner func(key string) string) (int, error) {
 			s.table.Delete(e.Rule.Key)
 			s.defaults.Delete(e.Rule.Key)
 		}
+		events.Record("qosserver", "handoff-push", addr, float64(len(entries)))
 		moved += len(entries)
 	}
 	return moved, firstErr
@@ -135,6 +137,7 @@ func (s *Server) applyHandoff(entries []haEntry) {
 	for ; passes > 0; passes-- {
 		s.applyHandoffEntries(entries)
 	}
+	events.Record("qosserver", "handoff-apply", "", float64(len(entries)))
 }
 
 func (s *Server) applyHandoffEntries(entries []haEntry) {

@@ -32,9 +32,12 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/bucket"
+	"repro/internal/events"
 	"repro/internal/failpoint"
 	"repro/internal/lease"
 	"repro/internal/metrics"
@@ -96,6 +99,17 @@ type Config struct {
 	LeaseFraction float64
 	// LeaseTTL is the lease lifetime; 0 means lease.DefaultTTL.
 	LeaseTTL time.Duration
+	// Audit enables the online admission-audit ledger (internal/audit):
+	// every credit grant and every admission is accounted, and an audit
+	// pass (periodic, plus on-demand at /debug/audit) verifies the
+	// conservation bound admitted ≤ C + r·t + lease slack per bucket,
+	// exporting violations as janus_qos_audit_overspend_total. Off by
+	// default: auditing costs one sharded map read plus one lock-free
+	// float add per admission (see BenchmarkObservabilityDecideAudited).
+	Audit bool
+	// AuditInterval is the period of the background audit pass when Audit
+	// is enabled; 0 means 1s.
+	AuditInterval time.Duration
 }
 
 // Stats are cumulative operation counters for one server.
@@ -135,6 +149,26 @@ type Server struct {
 	decisionLatency *metrics.Histogram
 	batchSize       *metrics.Histogram
 
+	// Per-stage sojourn decomposition (DESIGN.md §13): where a request's
+	// time inside this daemon went. queue = socket recv → FIFO dequeue,
+	// decide = dequeue → all decisions made, send = decisions → response
+	// datagram handed to the kernel, total = recv → sent. curSojournNs
+	// holds the queue-stage sojourn of the most recently dequeued packet —
+	// the rolling control signal a CoDel-style drop policy will consume.
+	sojournQueue  *metrics.Histogram
+	sojournDecide *metrics.Histogram
+	sojournSend   *metrics.Histogram
+	sojournTotal  *metrics.Histogram
+	curSojournNs  atomic.Int64
+
+	audit          *audit.Ledger // nil when auditing is disabled
+	auditOverspend *metrics.Counter
+
+	// lastSyncNs is the wall time of the last completed rule-sync pass,
+	// read by the readiness probe (a janusd enforcing stale rules should
+	// stop taking new traffic before it enforces very old ones).
+	lastSyncNs atomic.Int64
+
 	registry *metrics.Registry
 	tracer   *trace.Recorder
 
@@ -166,6 +200,8 @@ type Server struct {
 type packet struct {
 	data  []byte
 	raddr *net.UDPAddr
+	// recvNs timestamps the socket read, opening the sojourn clock.
+	recvNs int64
 }
 
 // keySet is a concurrent string set. It replaces sync.Map for the
@@ -260,6 +296,22 @@ func New(cfg Config) (*Server, error) {
 	reg.RegisterHistogram("janus_qos_batch_size", "request entries per received datagram (1 = unbatched router)", s.batchSize)
 	reg.GaugeFunc("janus_qos_table_keys", "keys resident in the local QoS table", func() float64 { return float64(s.table.Len()) })
 	reg.GaugeFunc("janus_qos_fifo_depth", "datagrams queued between listener and workers", func() float64 { return float64(len(s.fifo)) })
+	const sojournHelp = "per-stage request sojourn inside the QoS server in seconds (queue: socket recv to FIFO dequeue; decide: dequeue to all decisions made; send: decisions to response sent; total: recv to sent)"
+	s.sojournQueue = reg.HistogramScaled("janus_qos_sojourn_seconds", sojournHelp, 1e-9, metrics.Label{Key: "stage", Value: "queue"})
+	s.sojournDecide = reg.HistogramScaled("janus_qos_sojourn_seconds", sojournHelp, 1e-9, metrics.Label{Key: "stage", Value: "decide"})
+	s.sojournSend = reg.HistogramScaled("janus_qos_sojourn_seconds", sojournHelp, 1e-9, metrics.Label{Key: "stage", Value: "send"})
+	s.sojournTotal = reg.HistogramScaled("janus_qos_sojourn_seconds", sojournHelp, 1e-9, metrics.Label{Key: "stage", Value: "total"})
+	reg.GaugeFunc("janus_qos_sojourn_current_ns", "queue-stage sojourn of the most recently dequeued packet in nanoseconds (the CoDel control signal)",
+		func() float64 { return float64(s.curSojournNs.Load()) })
+	if cfg.Audit {
+		s.auditOverspend = reg.Counter("janus_qos_audit_overspend_total", "buckets found over the C + r·t + lease-slack conservation budget (counted once per bucket generation)")
+		s.audit = audit.NewLedger(audit.Config{Clock: clock, OnOverspend: func(o audit.Overspend) {
+			s.auditOverspend.Inc()
+			events.Recordf("audit", "overspend", o.Key, o.Over, "admitted=%.1f budget=%.1f gen=%d", o.Admitted, o.Budget, o.Generation)
+			s.logger.Printf("qosserver: audit overspend on %q gen %d: admitted %.1f > budget %.1f", o.Key, o.Generation, o.Admitted, o.Budget)
+		}})
+		reg.GaugeFunc("janus_qos_audit_buckets", "buckets tracked by the admission-audit ledger", func() float64 { return float64(s.audit.Buckets()) })
+	}
 	if cfg.LeaseFraction > 0 {
 		s.leases = lease.NewManager(lease.ManagerConfig{Fraction: cfg.LeaseFraction, TTL: cfg.LeaseTTL, Clock: clock})
 		s.leaseGrants = reg.Counter("janus_qos_lease_grants_total", "credit lease grants and renewals issued")
@@ -298,6 +350,13 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.leaseSweepLoop()
 	}
+	if s.audit != nil {
+		s.wg.Add(1)
+		go s.auditLoop()
+	}
+	// Readiness baseline: the server booted with whatever rules it has;
+	// staleness is measured from here until the first sync pass lands.
+	s.lastSyncNs.Store(clock().UnixNano())
 	return s, nil
 }
 
@@ -325,8 +384,9 @@ var fpUDPRecv = failpoint.New("qosserver/udp/recv")
 // into the FIFO. A full FIFO drops the packet — the router's retry covers
 // the loss, exactly the failure mode the paper's UDP discipline anticipates.
 //
-//janus:deadlined the accept-style read blocks by design; Close() closes the
 // socket, which unblocks ReadFromUDP with an error and ends the loop.
+//
+//janus:deadlined the accept-style read blocks by design; Close() closes the
 func (s *Server) listen() {
 	defer s.wg.Done()
 	for {
@@ -345,7 +405,7 @@ func (s *Server) listen() {
 		}
 		s.received.Inc()
 		select {
-		case s.fifo <- packet{data: buf[:n], raddr: raddr}:
+		case s.fifo <- packet{data: buf[:n], raddr: raddr, recvNs: s.clock().UnixNano()}:
 		default:
 			s.dropped.Inc()
 		}
@@ -372,6 +432,7 @@ func (s *Server) worker() {
 			return
 		case pkt = <-s.fifo:
 		}
+		deqNs := s.clock().UnixNano()
 		if err := wire.DecodeBatchRequestReuse(pkt.data, &breq); err != nil {
 			s.malformed.Inc()
 			continue
@@ -384,6 +445,7 @@ func (s *Server) worker() {
 		if s.leases != nil && len(breq.Entries) == 1 {
 			s.attachLease(&breq.Entries[0], &resps[0], pkt.raddr.String())
 		}
+		decNs := s.clock().UnixNano()
 		var err error
 		out, err = wire.AppendBatchResponse(out[:0], wire.BatchResponse{Entries: resps})
 		if err != nil {
@@ -400,7 +462,27 @@ func (s *Server) worker() {
 		if _, err := s.conn.WriteToUDP(out, pkt.raddr); err != nil {
 			s.sendErrors.Inc()
 		}
+		s.observeSojourn(pkt.recvNs, deqNs, decNs, s.clock().UnixNano())
 	}
+}
+
+// observeSojourn files one packet's per-stage sojourn decomposition and
+// refreshes the rolling current-sojourn signal. Allocation-free: four
+// histogram records and one atomic store per packet.
+//
+//janus:hotpath
+func (s *Server) observeSojourn(recvNs, deqNs, decNs, sentNs int64) {
+	s.sojournQueue.Record(deqNs - recvNs)
+	s.sojournDecide.Record(decNs - deqNs)
+	s.sojournSend.Record(sentNs - decNs)
+	s.sojournTotal.Record(sentNs - recvNs)
+	s.curSojournNs.Store(deqNs - recvNs)
+}
+
+// CurrentSojourn returns the queue-stage sojourn of the most recently
+// dequeued packet — the signal a CoDel-style drop policy watches.
+func (s *Server) CurrentSojourn() time.Duration {
+	return time.Duration(s.curSojournNs.Load())
 }
 
 // fpLeaseRevokeDrop models a lost lease revocation: the reserved rate is
@@ -435,6 +517,10 @@ func (s *Server) attachLease(req *wire.Request, resp *wire.Response, holder stri
 			switch g.Op {
 			case wire.LeaseOpGrant:
 				s.leaseGrants.Inc()
+				// The holder may now admit rate×TTL remotely plus the
+				// prepaid burst; budget it before the first remote spend.
+				s.audit.AddSlack(req.Key, g.Rate*g.TTL.Seconds()+g.Burst)
+				events.Recordf("lease", "grant", req.Key, g.Rate, "holder=%s burst=%.1f ttl=%s", holder, g.Burst, g.TTL)
 			case wire.LeaseOpDeny:
 				s.leaseDenies.Inc()
 			}
@@ -451,6 +537,7 @@ func (s *Server) revokeLeases(key string) {
 	}
 	if n := s.leases.Revoke(key); n > 0 {
 		s.leaseRevokes.Add(int64(n))
+		events.Record("lease", "revoke", key, float64(n))
 	}
 }
 
@@ -541,14 +628,31 @@ func (s *Server) Decide(req wire.Request) wire.Response {
 		cost = 1
 	}
 	allow := b.TryConsume(cost, now)
+	if !allow && fpAuditDoubleCredit.Armed() {
+		if o := fpAuditDoubleCredit.Eval(); o.Kind != failpoint.Off {
+			// The injected conservation bug: an exhausted bucket silently
+			// refills to capacity without a ledger grant. Subsequent
+			// admissions spend minted credit, which the audit pass MUST
+			// report as overspend (see TestAuditCatchesDoubleCredit).
+			b.SetCredit(b.Capacity(), now)
+		}
+	}
 	s.decisions.Inc()
 	if allow {
 		s.allowed.Inc()
+		s.audit.Admit(req.Key, cost)
 	} else {
 		s.denied.Inc()
 	}
 	return wire.Response{ID: req.ID, Allow: allow, Status: status, TraceID: req.TraceID}
 }
+
+// fpAuditDoubleCredit mints credit on an exhausted bucket without telling
+// the audit ledger — the canonical conservation bug (a double-applied
+// handoff would look exactly like this). It exists to prove the audit
+// ledger detects what it claims to detect; it fires only on the deny path,
+// so the admission fast path never sees it.
+var fpAuditDoubleCredit = failpoint.New("qosserver/audit/double-credit")
 
 // installRule fetches the rule for key from the database (or applies the
 // default) and installs its bucket in the local table.
@@ -564,11 +668,20 @@ func (s *Server) installRule(key string, now time.Time) *bucket.Bucket {
 }
 
 // newBucket builds a bucket honouring the configured refill discipline.
+// It is the single chokepoint for wholesale credit grants — first-sight
+// install, sync geometry change, handoff install, replication snapshot,
+// preload — so the audit ledger's Install hook lives here. (Min-merge
+// paths adjust existing buckets via SetCredit and grant nothing.)
 func (s *Server) newBucket(rule bucket.Rule, now time.Time) *bucket.Bucket {
 	var opts []bucket.Option
 	if s.cfg.RefillInterval > 0 {
 		opts = append(opts, bucket.WithTickRefill())
 	}
+	credit := rule.Credit
+	if credit > rule.Capacity {
+		credit = rule.Capacity
+	}
+	s.audit.Install(rule.Key, credit, rule.RefillRate)
 	return bucket.New(rule, now, opts...)
 }
 
@@ -710,6 +823,44 @@ func (s *Server) SyncOnce() {
 			s.table.Put(e.key, s.newBucket(r, now))
 		}
 	}
+	s.lastSyncNs.Store(s.clock().UnixNano())
+}
+
+// SyncAge reports how long ago the last rule-sync pass completed (measured
+// from boot before the first pass) and whether periodic sync is configured
+// at all — the readiness probe's staleness input.
+func (s *Server) SyncAge() (age time.Duration, enabled bool) {
+	enabled = s.cfg.SyncInterval > 0 && s.cfg.Store != nil
+	return time.Duration(s.clock().UnixNano() - s.lastSyncNs.Load()), enabled
+}
+
+// auditLoop runs the periodic conservation pass so overspends reach the
+// counter and the flight recorder without anyone scraping /debug/audit.
+func (s *Server) auditLoop() {
+	defer s.wg.Done()
+	every := s.cfg.AuditInterval
+	if every <= 0 {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			s.audit.Audit()
+		}
+	}
+}
+
+// AuditReport runs one on-demand audit pass — the /debug/audit document.
+// With auditing disabled the verdict is "disabled".
+func (s *Server) AuditReport() audit.Report {
+	if s.audit == nil {
+		return audit.Report{Verdict: "disabled"}
+	}
+	return s.audit.Audit()
 }
 
 // checkpointLoop periodically writes current credits back to the database.

@@ -36,6 +36,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/audit"
+	"repro/internal/events"
 	"repro/internal/failpoint"
 	"repro/internal/lease"
 	"repro/internal/membership"
@@ -104,6 +106,17 @@ type Config struct {
 	// hop. Nil disables leasing — the default, and the only mode old
 	// servers ever observe.
 	Lease *lease.TableConfig
+	// Audit enables the router-side admission-audit ledger: every lease
+	// grant budgets burst + rate·t for its key and every lease-hit
+	// admission is accounted against it, so credit minted by a lease-path
+	// bug (a double-applied grant, a bucket that forgot to spend) surfaces
+	// as janus_router_audit_overspend_total. Only meaningful with leasing
+	// enabled — the wire path spends on the QoS server, which audits
+	// itself.
+	Audit bool
+	// AuditInterval is the period of the background audit pass when Audit
+	// is enabled; 0 means 1s.
+	AuditInterval time.Duration
 }
 
 // Stats are cumulative counters for one router node.
@@ -168,7 +181,17 @@ type Router struct {
 	leaseDenies *metrics.Counter
 	leaseMisses *metrics.Counter
 
-	wg sync.WaitGroup
+	audit          *audit.Ledger // nil when auditing is disabled
+	auditOverspend *metrics.Counter
+
+	// inDefaultReply tracks whether the router is currently fabricating
+	// replies (an exchange just exhausted its retries) — the flight
+	// recorder logs the enter/exit edges, not every fabricated reply.
+	inDefaultReply atomic.Bool
+
+	quit      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 }
 
 // backend is one QoS server slot, addressed by name and re-resolved on
@@ -260,6 +283,12 @@ func New(cfg Config) (*Router, error) {
 		cfg.Transport.BatchSizes = metrics.NewHistogram()
 		reg.RegisterHistogram("janus_router_batch_size", "request entries per coalesced datagram (1 = singleton fast path)", cfg.Transport.BatchSizes)
 	}
+	if cfg.Transport.CoalesceSojourn == nil {
+		// Shared across all backend coalescers: enqueue→wire sojourn, the
+		// observable price of the adaptive linger (empty when MaxBatch <= 1).
+		cfg.Transport.CoalesceSojourn = metrics.NewHistogram()
+		reg.RegisterHistogramScaled("janus_router_coalesce_sojourn_seconds", "seconds each request spent in the fan-in coalescer between enqueue and the flush that put it on the wire", cfg.Transport.CoalesceSojourn, 1e-9)
+	}
 	// The default-reply counter is labelled with the router's failure
 	// posture: fail_open routers fabricate admits on backend loss, stealing
 	// capacity, while fail_closed routers deny. The label makes the two
@@ -282,6 +311,7 @@ func New(cfg Config) (*Router, error) {
 		defaultReplies: reg.Counter("janus_router_default_replies_total", "responses fabricated by the router", metrics.Label{Key: "mode", Value: mode}),
 		redials:        reg.Counter("janus_router_redials_total", "backend reconnects after failure"),
 		viewSwaps:      reg.Counter("janus_router_view_swaps_total", "membership views adopted after the initial one"),
+		quit:           make(chan struct{}),
 	}
 	if cfg.Lease != nil {
 		r.leases = lease.NewTable(*cfg.Lease)
@@ -291,6 +321,15 @@ func New(cfg Config) (*Router, error) {
 		reg.GaugeFunc("janus_router_leases", "credit leases currently held", func() float64 {
 			return float64(r.leases.Len())
 		})
+	}
+	if cfg.Audit {
+		r.auditOverspend = reg.Counter("janus_router_audit_overspend_total", "leased keys found over the burst + rate·t conservation budget (counted once per lease generation)")
+		r.audit = audit.NewLedger(audit.Config{OnOverspend: func(o audit.Overspend) {
+			r.auditOverspend.Inc()
+			events.Recordf("audit", "overspend", o.Key, o.Over, "admitted=%.1f budget=%.1f gen=%d", o.Admitted, o.Budget, o.Generation)
+			r.logger.Printf("router: audit overspend on %q gen %d: admitted %.1f > budget %.1f", o.Key, o.Generation, o.Admitted, o.Budget)
+		}})
+		reg.GaugeFunc("janus_router_audit_buckets", "leased keys tracked by the admission-audit ledger", func() float64 { return float64(r.audit.Buckets()) })
 	}
 	reg.RegisterHistogram("janus_router_latency_ns", "HTTP request latency in nanoseconds", r.latency)
 	reg.GaugeFunc("janus_router_view_epoch", "epoch of the view currently routing traffic", func() float64 {
@@ -316,7 +355,41 @@ func New(cfg Config) (*Router, error) {
 		defer r.wg.Done()
 		r.server.Serve(ln)
 	}()
+	if r.audit != nil {
+		r.wg.Add(1)
+		go r.auditLoop()
+	}
 	return r, nil
+}
+
+// auditLoop runs the periodic conservation pass so lease-path overspends
+// reach the counter and the flight recorder without anyone scraping
+// /debug/audit.
+func (r *Router) auditLoop() {
+	defer r.wg.Done()
+	every := r.cfg.AuditInterval
+	if every <= 0 {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.quit:
+			return
+		case <-t.C:
+			r.audit.Audit()
+		}
+	}
+}
+
+// AuditReport runs one on-demand audit pass — the /debug/audit document.
+// With auditing disabled the verdict is "disabled".
+func (r *Router) AuditReport() audit.Report {
+	if r.audit == nil {
+		return audit.Report{Verdict: "disabled"}
+	}
+	return r.audit.Audit()
 }
 
 // buildState assembles dial slots for a view, reusing slots (and their
@@ -367,6 +440,7 @@ func (r *Router) UpdateView(v membership.View) error {
 	}
 	r.viewSwaps.Inc()
 	r.lastRemapBits.Store(math.Float64bits(remap))
+	events.Recordf("router", "epoch-swap", "", float64(v.Epoch), "backends=%d remap=%.3f", len(v.Backends), remap)
 	r.logger.Printf("router: adopted view epoch %d (%d backends, ~%.1f%% of keys remapped)",
 		v.Epoch, len(v.Backends), remap*100)
 	// Close slots that left the view; racing in-flight requests see a
@@ -469,6 +543,13 @@ func (r *Router) route(qreq wire.Request) (wire.Response, routeInfo) {
 			// table and the wire is never touched.
 			if d.Allow {
 				r.leaseAllows.Inc()
+				// Mirror the lease table's cost normalization (0 spends 1)
+				// so the ledger accounts exactly what the bucket spent.
+				cost := qreq.Cost
+				if cost <= 0 {
+					cost = 1
+				}
+				r.audit.Admit(qreq.Key, cost)
 			} else {
 				r.leaseDenies.Inc()
 			}
@@ -515,9 +596,21 @@ func (r *Router) route(qreq wire.Request) (wire.Response, routeInfo) {
 		r.redials.Inc()
 		return r.leaseFailed(qreq), info
 	}
+	// A completed wire exchange ends any default-reply episode.
+	if r.inDefaultReply.Load() && r.inDefaultReply.CompareAndSwap(true, false) {
+		events.Record("router", "default-reply-exit", "", 0)
+	}
 	if r.leases != nil {
 		switch {
 		case resp.Lease.Op != 0:
+			if resp.Lease.Op == wire.LeaseOpGrant {
+				// Budget the grant before the first local spend: the holder
+				// may admit burst upfront plus rate·t for the lease window.
+				// Renewals re-add the burst the table keeps rather than
+				// re-mints — a deliberate over-approximation; the ledger only
+				// ever errs toward "ok".
+				r.audit.Install(qreq.Key, resp.Lease.Burst, resp.Lease.Rate)
+			}
 			r.leases.Apply(qreq.Key, resp.Lease)
 		case qreq.Lease.Op != 0:
 			// The server left our ask unanswered (a pending revocation for
@@ -541,7 +634,20 @@ func (r *Router) leaseFailed(qreq wire.Request) wire.Response {
 
 func (r *Router) defaultReply() wire.Response {
 	r.defaultReplies.Inc()
+	// Record the edge into default-reply mode, not every fabricated reply:
+	// a dead backend fabricates thousands per second, and the flight
+	// recorder wants the episode boundaries.
+	if !r.inDefaultReply.Load() && r.inDefaultReply.CompareAndSwap(false, true) {
+		events.Record("router", "default-reply-enter", "", boolToFloat(r.cfg.DefaultReply))
+	}
 	return wire.Response{Allow: r.cfg.DefaultReply, Status: wire.StatusDefaultReply}
+}
+
+func boolToFloat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Stats returns a snapshot of the router counters.
@@ -577,6 +683,7 @@ func (r *Router) Tracer() *trace.Recorder { return r.tracer }
 
 // Close shuts down the router.
 func (r *Router) Close() error {
+	r.closeOnce.Do(func() { close(r.quit) })
 	err := r.server.Close()
 	for _, b := range r.state.Load().backends {
 		b.close()

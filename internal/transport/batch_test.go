@@ -255,3 +255,33 @@ func TestPartialBatchDropRecovery(t *testing.T) {
 		t.Fatalf("%d requests failed to recover from partial-batch drops", failures.Load())
 	}
 }
+
+// The coalesce-sojourn histogram must observe every delivered entry's
+// enqueue→wire wait — the singleton fast path included (its sojourn is just
+// small) — and stay within the linger bound that the latency discipline
+// promises.
+func TestCoalesceSojournRecorded(t *testing.T) {
+	soj := metrics.NewHistogram()
+	cfg := batchCfg(metrics.NewHistogram())
+	cfg.CoalesceSojourn = soj
+	_, c := startPair(t, cfg)
+
+	const n = 16
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_, _ = c.Do(wire.Request{Key: "alice", Cost: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if soj.Count() == 0 {
+		t.Fatal("coalesce-sojourn histogram never recorded a delivery")
+	}
+	if min := soj.Min(); min < 0 {
+		t.Fatalf("negative coalesce sojourn %dns recorded", min)
+	}
+}

@@ -54,6 +54,11 @@ type coalescer struct {
 
 	mu      sync.Mutex
 	pending []wire.Request
+	// pendingAt holds the enqueue timestamp of each pending entry (parallel
+	// to pending) when Config.CoalesceSojourn is set; zeros otherwise. It
+	// measures the enqueue→flush sojourn — the observable cost of the
+	// adaptive linger.
+	pendingAt []int64
 
 	work chan struct{} // cap 1: pending became non-empty
 	full chan struct{} // cap 1: pending reached MaxBatch while lingering
@@ -78,11 +83,17 @@ func newCoalescer(c *Client) *coalescer {
 // caller immediately goes to wait on its response channel, exactly as it
 // would after a direct socket write.
 //
-//janus:hotpath steady state appends into the retained pending slice; growth
 // stops once the slice reaches the fan-in high-water mark.
+//
+//janus:hotpath steady state appends into the retained pending slice; growth
 func (co *coalescer) enqueue(req wire.Request) {
+	var at int64
+	if co.c.cfg.CoalesceSojourn != nil {
+		at = time.Now().UnixNano()
+	}
 	co.mu.Lock()
 	co.pending = append(co.pending, req)
+	co.pendingAt = append(co.pendingAt, at)
 	n := len(co.pending)
 	co.mu.Unlock()
 	signal(co.work)
@@ -138,10 +149,10 @@ func (co *coalescer) flushLoop() {
 				}
 				co.mu.Lock()
 			}
-			batch, rest := co.take()
-			co.pending = rest
+			batch, batchAt, rest, restAt := co.take()
+			co.pending, co.pendingAt = rest, restAt
 			co.mu.Unlock()
-			co.flush(batch)
+			co.flush(batch, batchAt)
 		}
 	}
 }
@@ -152,22 +163,25 @@ func (co *coalescer) flushLoop() {
 // earlier attempt, or an armed dup failpoint) stays pending for the next
 // flush — one frame must never carry the same ID twice, the decoders reject
 // that as a replay.
-func (co *coalescer) take() (batch, rest []wire.Request) {
+func (co *coalescer) take() (batch []wire.Request, batchAt []int64, rest []wire.Request, restAt []int64) {
 	size := 0
 	for i, e := range co.pending {
 		esz := batchEntrySize(e)
 		if len(batch) > 0 && (len(batch) >= co.c.cfg.MaxBatch || size+esz > maxBatchBytes) {
 			rest = append(rest, co.pending[i:]...)
+			restAt = append(restAt, co.pendingAt[i:]...)
 			break
 		}
 		if containsID(batch, e.ID) {
 			rest = append(rest, e)
+			restAt = append(restAt, co.pendingAt[i])
 			continue
 		}
 		batch = append(batch, e)
+		batchAt = append(batchAt, co.pendingAt[i])
 		size += esz
 	}
-	return batch, rest
+	return batch, batchAt, rest, restAt
 }
 
 // batchEntrySize is a worst-case wire-size estimate for one batch entry
@@ -194,13 +208,14 @@ func containsID(batch []wire.Request, id uint64) bool {
 // (FlushErrors) and the callers recover through their normal retry path.
 //
 //janus:hotpath
-func (co *coalescer) flush(batch []wire.Request) {
+func (co *coalescer) flush(batch []wire.Request, batchAt []int64) {
 	sends := 1
 	if fpClientBatch.Armed() {
 		switch o := fpClientBatch.EvalPeer(co.c.raddr); o.Kind {
 		case failpoint.Drop:
 			// Partial-batch drop: the tail half never reaches the wire.
 			batch = batch[:len(batch)/2]
+			batchAt = batchAt[:len(batch)]
 		case failpoint.Partition:
 			sends = 0
 		case failpoint.Dup:
@@ -231,6 +246,18 @@ func (co *coalescer) flush(batch []wire.Request) {
 		if _, err := co.c.conn.Write(pkt); err != nil {
 			co.c.flushErrs.Add(1)
 			return
+		}
+	}
+	if h := co.c.cfg.CoalesceSojourn; h != nil {
+		// Enqueue→wire sojourn of every delivered entry. Entries lost to a
+		// failpoint or a dead socket never complete their sojourn; their
+		// exchange recovers through the retry path, which bypasses the
+		// coalescer.
+		now := time.Now().UnixNano()
+		for _, at := range batchAt {
+			if at > 0 {
+				h.Record(now - at)
+			}
 		}
 	}
 }

@@ -82,6 +82,11 @@ type Config struct {
 	// BatchSizes, when non-nil, records the entry count of every coalesced
 	// datagram flushed (the router registers janus_router_batch_size here).
 	BatchSizes *metrics.Histogram
+	// CoalesceSojourn, when non-nil, records the nanoseconds each request
+	// spent inside the coalescer — enqueue to the flush that put it on the
+	// wire (the router registers janus_router_coalesce_sojourn_seconds
+	// here). Nil skips the timestamping entirely.
+	CoalesceSojourn *metrics.Histogram
 }
 
 // Stats holds the transport counters. Build a registry-backed set with
@@ -188,8 +193,9 @@ func Dial(addr string, cfg Config) (*Client, error) {
 
 // readLoop drains responses off the socket until the client closes.
 //
-//janus:deadlined the read blocks by design — it is the client's demultiplexer;
 // Close() closes the socket, which unblocks Read with an error and ends the loop.
+//
+//janus:deadlined the read blocks by design — it is the client's demultiplexer;
 func (c *Client) readLoop() {
 	buf := make([]byte, wire.MaxDatagram)
 	for {
@@ -436,9 +442,10 @@ func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
 // serve is the accept loop: one datagram in, one handler call, one datagram
 // out.
 //
-//janus:deadlined the accept-style read blocks by design; Close() closes the
 // socket, which unblocks ReadFromUDP with an error and ends the loop. The
 // response send is fire-and-forget UDP — WriteToUDP does not block on the peer.
+//
+//janus:deadlined the accept-style read blocks by design; Close() closes the
 func (s *Server) serve() {
 	defer s.wg.Done()
 	buf := make([]byte, wire.MaxDatagram)

@@ -1,0 +1,12 @@
+// Package version carries the build identity stamped into every Janus
+// binary. The Makefile overrides Version at link time:
+//
+//	go build -ldflags "-X repro/internal/version.Version=$(git describe ...)"
+//
+// so janus_build_info{version,go} on every daemon's /metrics page tells an
+// operator exactly which build is answering — the first question asked when
+// a fleet misbehaves after a partial rollout.
+package version
+
+// Version is the build identifier; "dev" for unstamped builds.
+var Version = "dev"

@@ -67,6 +67,43 @@ check_metrics "$ROUTER_M" "janus_router_requests_total 10"
 check_metrics "$QOS_M" "janus_qos_decisions_total"
 check_metrics "$COORD_M" "janus_coordinator_epoch"
 
+echo "checking cumulative histogram buckets..."
+check_metrics "$QOS_M" 'janus_qos_sojourn_seconds_bucket{stage="total",le="+Inf"}'
+check_metrics "$LB_M" 'janus_lb_latency_ns_bucket{le="+Inf"}'
+
+echo "checking build identity..."
+for m in "$QOS_M" "$ROUTER_M" "$LB_M" "$COORD_M"; do
+    check_metrics "$m" "janus_build_info{"
+done
+
+echo "checking admission audit..."
+for m in "$QOS_M" "$ROUTER_M"; do
+    verdict=$(curl -sf "http://$m/debug/audit")
+    if ! grep -q '"verdict": *"ok"' <<<"$verdict"; then
+        echo "FAIL: http://$m/debug/audit not ok: $verdict" >&2
+        exit 1
+    fi
+    echo "ok: http://$m/debug/audit verdict ok"
+done
+
+echo "checking flight recorder..."
+for m in "$QOS_M" "$ROUTER_M" "$LB_M" "$COORD_M"; do
+    if ! curl -sf "http://$m/debug/events" | grep -q '"recorded"'; then
+        echo "FAIL: http://$m/debug/events missing" >&2
+        exit 1
+    fi
+    echo "ok: http://$m/debug/events answers"
+done
+
+echo "checking readiness..."
+for m in "$QOS_M" "$ROUTER_M" "$LB_M" "$COORD_M"; do
+    if ! curl -sf "http://$m/readyz" | grep -q '"ready": *true'; then
+        echo "FAIL: http://$m/readyz not ready" >&2
+        exit 1
+    fi
+    echo "ok: http://$m/readyz ready"
+done
+
 echo "checking trace capture..."
 traces=$(curl -sf "http://$LB_M/debug/traces")
 if ! grep -q '"hop": *"qosserver"' <<<"$traces"; then
