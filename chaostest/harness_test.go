@@ -253,14 +253,17 @@ type bucketRow struct {
 	RefillRate float64 `json:"refill_rate"`
 }
 
-// bucketCredit reads key's credit from a daemon's /debug/qos snapshot;
-// ok reports whether the key was present at all.
+// bucketCredit reads key's credit from a daemon's /debug/qos snapshot
+// (the "buckets" half of the {intake, buckets} document); ok reports
+// whether the key was present at all.
 func bucketCredit(addr, key string) (float64, bool, error) {
-	var rows []bucketRow
-	if err := getJSON(addr, "/debug/qos", &rows); err != nil {
+	var doc struct {
+		Buckets []bucketRow `json:"buckets"`
+	}
+	if err := getJSON(addr, "/debug/qos", &doc); err != nil {
 		return 0, false, err
 	}
-	for _, r := range rows {
+	for _, r := range doc.Buckets {
 		if r.Key == key {
 			return r.Credit, true, nil
 		}

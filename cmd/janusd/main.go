@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -32,8 +33,11 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:7101", "UDP listen address")
+		listeners   = flag.Int("listeners", 0, "SO_REUSEPORT intake sockets (0 = #CPUs capped at 8, 1 = single socket)")
 		workers     = flag.Int("workers", 0, "worker goroutines (0 = #CPUs)")
-		queue       = flag.Int("queue", 65536, "listener FIFO capacity")
+		queue       = flag.Int("queue", 65536, "per-listener FIFO capacity")
+		codelTarget = flag.Duration("codel-target", qosserver.DefaultCodelTarget, "CoDel queue sojourn target (negative disables queue management)")
+		codelIv     = flag.Duration("codel-interval", qosserver.DefaultCodelInterval, "CoDel standing-queue detection interval")
 		dbAddr      = flag.String("db", "", "minisql database address (empty = no database)")
 		tableKind   = flag.String("table", "sharded", "QoS table implementation: sharded|mutex")
 		defRate     = flag.Float64("default-rate", 0, "default rule refill rate (req/s) for unknown keys")
@@ -68,10 +72,20 @@ func main() {
 		}
 	}
 
+	nListeners := *listeners
+	if nListeners == 0 {
+		if nListeners = runtime.NumCPU(); nListeners > 8 {
+			nListeners = 8
+		}
+	}
+
 	cfg := qosserver.Config{
 		Addr:               *addr,
+		Listeners:          nListeners,
 		Workers:            *workers,
 		QueueSize:          *queue,
+		CodelTarget:        *codelTarget,
+		CodelInterval:      *codelIv,
 		TableKind:          table.Kind(*tableKind),
 		DefaultRule:        bucket.Rule{RefillRate: *defRate, Capacity: *defCapacity, Credit: *defCapacity},
 		RefillInterval:     *refill,
@@ -122,8 +136,13 @@ func main() {
 		Tracer:   srv.Tracer(),
 		Sections: []debugz.Section{{
 			Name: "qos",
-			Help: "leaky-bucket table snapshot (key, credit, capacity, refill)",
-			Fn:   func() any { return srv.SnapshotBuckets(1024) },
+			Help: "intake state (listeners, FIFO depths, CoDel) and leaky-bucket table snapshot",
+			Fn: func() any {
+				return map[string]any{
+					"intake":  srv.SnapshotIntake(),
+					"buckets": srv.SnapshotBuckets(1024),
+				}
+			},
 		}, {
 			Name: "audit",
 			Help: "admission-audit ledger verdict (conservation check over every bucket)",
@@ -162,7 +181,13 @@ func main() {
 		logger.Printf("metrics/debug on http://%s", dbg.Addr())
 	}
 
-	logger.Printf("QoS server on udp://%s (table=%s workers=%d)", srv.Addr(), *tableKind, *workers)
+	nl, reuseport := srv.Listeners()
+	intakeMode := "reuseport"
+	if !reuseport {
+		intakeMode = "single-socket"
+	}
+	logger.Printf("QoS server on udp://%s (table=%s workers=%d listeners=%d/%s codel-target=%v)",
+		srv.Addr(), *tableKind, *workers, nl, intakeMode, *codelTarget)
 	if srv.ReplicationAddr() != "" {
 		logger.Printf("HA replication on tcp://%s", srv.ReplicationAddr())
 	}
@@ -196,6 +221,6 @@ func main() {
 		break
 	}
 	st0 := srv.Stats()
-	fmt.Fprintf(os.Stderr, "janusd: decisions=%d allowed=%d denied=%d dbQueries=%d dropped=%d\n",
-		st0.Decisions, st0.Allowed, st0.Denied, st0.DBQueries, st0.Dropped)
+	fmt.Fprintf(os.Stderr, "janusd: decisions=%d allowed=%d denied=%d dbQueries=%d dropped=%d degraded=%d\n",
+		st0.Decisions, st0.Allowed, st0.Denied, st0.DBQueries, st0.Dropped, st0.Degraded)
 }

@@ -221,13 +221,25 @@ func TestObservabilityEndToEnd(t *testing.T) {
 		t.Fatalf("trace %v not found in janusd recorder (has %d traces)", full.ID, len(qosDump.Recent))
 	}
 
-	// --- /debug/qos exposes the bucket table. ---
-	var buckets []map[string]any
-	if err := json.Unmarshal([]byte(httpGet(t, "http://"+qosMetrics+"/debug/qos")), &buckets); err != nil {
+	// --- /debug/qos exposes the intake state and the bucket table. ---
+	var qos struct {
+		Intake  []map[string]any `json:"intake"`
+		Buckets []map[string]any `json:"buckets"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, "http://"+qosMetrics+"/debug/qos")), &qos); err != nil {
 		t.Fatalf("bad /debug/qos JSON: %v", err)
 	}
+	buckets := qos.Buckets
 	if len(buckets) == 0 {
-		t.Fatal("/debug/qos is empty")
+		t.Fatal("/debug/qos bucket table is empty")
+	}
+	if len(qos.Intake) == 0 {
+		t.Fatal("/debug/qos intake section is empty")
+	}
+	for _, row := range qos.Intake {
+		if st, _ := row["codel_state"].(string); st != "ok" && st != "dropping" && st != "disabled" {
+			t.Fatalf("intake row has bad codel_state: %v", row)
+		}
 	}
 	foundCarol := false
 	for _, b := range buckets {

@@ -144,6 +144,7 @@ func (j *Janus) Stats() qosserver.Stats {
 		st := s.Stats()
 		agg.Received += st.Received
 		agg.Dropped += st.Dropped
+		agg.Degraded += st.Degraded
 		agg.Malformed += st.Malformed
 		agg.Decisions += st.Decisions
 		agg.Allowed += st.Allowed

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -198,6 +199,13 @@ func parseDir(fset *token.FileSet, dir string) ([]*ast.File, string, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Honor build constraints (//go:build lines and _GOOS/_GOARCH file
+		// suffixes) for the host platform, like `go vet` does: without this,
+		// platform-split pairs such as qosserver's reuseport_{linux,stub}.go
+		// would both load into one package and redeclare each other.
+		if ok, merr := build.Default.MatchFile(dir, name); merr != nil || !ok {
 			continue
 		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)

@@ -244,3 +244,33 @@ func TestAllocPinLeaseTableHit(t *testing.T) {
 		t.Errorf("lease-table hit: %v allocs/op, budget %v (BENCH_allocs.json)", got, budget)
 	}
 }
+
+// TestAllocPinCodelDecide pins the CoDel dequeue decision — one lock, the
+// control-law step, and the degraded-response build when it sheds — at
+// zero: it runs once per datagram on every worker loop.
+func TestAllocPinCodelDecide(t *testing.T) {
+	skipIfInstrumented(t)
+	budget := pinBudget(t, "codel_decide")
+
+	c := newCodel(DefaultCodelTarget, DefaultCodelInterval)
+	reqs := []wire.Request{{ID: 1, Key: "alloc-pin-codel", Cost: 1}}
+	resps := make([]wire.Response, 0, 1)
+	var ns int64
+	var sheds int64
+	got := testing.AllocsPerRun(200, func() {
+		// Sustained above-target sojourn walks the entry arm once and the
+		// inverse-sqrt cadence arm on most iterations; the shed branch
+		// builds the degraded reply into the reused slice. All alloc-free.
+		ns += int64(DefaultCodelInterval)
+		if c.onDequeue(int64(5*DefaultCodelTarget), ns) {
+			sheds++
+			resps = appendDegraded(resps[:0], reqs, false)
+		}
+	})
+	if sheds == 0 {
+		t.Fatal("controller never shed; the pin measured the wrong path")
+	}
+	if got != budget {
+		t.Errorf("codel onDequeue+appendDegraded: %v allocs/op, budget %v (BENCH_allocs.json)", got, budget)
+	}
+}

@@ -1,0 +1,199 @@
+package qosserver
+
+// Deterministic CoDel property tests. The controller is a pure state
+// machine over (sojournNs, nowNs) pairs, so every scenario here is a
+// synthetic sojourn schedule replayed on a simulated clock grid — no real
+// queues, no sleeps, no flakes. The expectations are hand-computed from
+// the RFC 8289 control law, so a regression in the law (not just in the
+// plumbing) fails these tests.
+
+import (
+	"testing"
+	"time"
+)
+
+const (
+	testTarget   = time.Millisecond       // 1e6 ns
+	testInterval = 100 * time.Millisecond // 1e8 ns
+)
+
+// driveGrid dequeues one packet per gridStep with the sojourn produced by
+// sojournAt, for n steps starting at t=0, and returns the times (in ns) at
+// which the controller degraded.
+func driveGrid(c *codel, n int, gridStep time.Duration, sojournAt func(step int) time.Duration) []int64 {
+	var degraded []int64
+	for i := 0; i < n; i++ {
+		now := int64(i) * int64(gridStep)
+		if c.onDequeue(int64(sojournAt(i)), now) {
+			degraded = append(degraded, now)
+		}
+	}
+	return degraded
+}
+
+func ms(n int64) int64 { return n * int64(time.Millisecond) }
+
+// TestCodelStepOverload: sojourn steps to 5x Target and stays there, one
+// dequeue per millisecond. The controller must wait a full Interval before
+// entering the dropping state, then degrade at exactly the inverse-sqrt
+// cadence. The instants are hand-computed: entry at 100ms, then
+// 100/sqrt(2), 100/sqrt(3), ... ms later, rounded up to the next dequeue
+// on the 1ms grid.
+func TestCodelStepOverload(t *testing.T) {
+	c := newCodel(testTarget, testInterval)
+	got := driveGrid(c, 500, time.Millisecond, func(int) time.Duration { return 5 * time.Millisecond })
+
+	want := []int64{ms(100), ms(200), ms(271), ms(329), ms(379), ms(424)}
+	if len(got) < len(want) {
+		t.Fatalf("degrades = %d, want at least %d: %v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("degrade %d at %dns, want %dns (full schedule %v)", i, got[i], w, got[:len(want)])
+		}
+	}
+	if dropping, _ := c.snapshot(); !dropping {
+		t.Fatal("controller left the dropping state under sustained overload")
+	}
+
+	// The cadence law exactly: each scheduled gap is Interval/sqrt(count)
+	// for count = 2, 3, 4, ... — observed gaps are the scheduled gaps
+	// rounded up to the 1ms dequeue grid, so each gap must lie within one
+	// grid step above the law and the accumulated schedule must match the
+	// integer control law to the nanosecond.
+	next := got[0] + controlLaw(int64(testInterval), 1)
+	for i := 1; i < len(got); i++ {
+		// got[i] is the first grid point at or after the scheduled instant.
+		if got[i] < next || got[i]-next >= int64(time.Millisecond) {
+			t.Fatalf("degrade %d at %dns, scheduled %dns: not the first grid dequeue after the control law", i, got[i], next)
+		}
+		next += controlLaw(int64(testInterval), int64(i)+1)
+	}
+}
+
+// TestCodelBurstPassesUntouched: an excursion above Target shorter than one
+// Interval is a burst, not a standing queue — zero degrades.
+func TestCodelBurstPassesUntouched(t *testing.T) {
+	c := newCodel(testTarget, testInterval)
+	got := driveGrid(c, 300, time.Millisecond, func(i int) time.Duration {
+		if i >= 50 && i < 140 { // 90ms above target: just under one Interval
+			return 4 * time.Millisecond
+		}
+		return 100 * time.Microsecond
+	})
+	if len(got) != 0 {
+		t.Fatalf("burst shorter than Interval degraded %d packets: %v", len(got), got)
+	}
+	if dropping, _ := c.snapshot(); dropping {
+		t.Fatal("controller stuck in dropping state after the burst cleared")
+	}
+}
+
+// TestCodelRampEntry: sojourn ramps 50µs per dequeue. It crosses Target at
+// t=20ms; the dropping state must begin exactly one Interval later, at the
+// t=120ms dequeue, and not one packet earlier.
+func TestCodelRampEntry(t *testing.T) {
+	c := newCodel(testTarget, testInterval)
+	got := driveGrid(c, 200, time.Millisecond, func(i int) time.Duration {
+		return time.Duration(i) * 50 * time.Microsecond
+	})
+	if len(got) == 0 {
+		t.Fatal("ramp overload never entered the dropping state")
+	}
+	if got[0] != ms(120) {
+		t.Fatalf("first degrade at %dns, want exactly %dns (crossing at 20ms + one Interval)", got[0], ms(120))
+	}
+}
+
+// TestCodelRecoverExitsAndHysteresisResumes: overload, recover, overload
+// again within 16 Intervals. The first below-Target dequeue must exit the
+// dropping state immediately, and the re-entry must resume from the
+// previous episode's cadence (count = previous count - count at entry)
+// instead of relearning from 1.
+func TestCodelRecoverExitsAndHysteresisResumes(t *testing.T) {
+	c := newCodel(testTarget, testInterval)
+
+	// Phase 1: overload long enough to reach count = 5 (see the step test's
+	// schedule: degrades at 100, 200, 271, 329, 379ms).
+	drive := func(fromMs, toMs int64, sojourn time.Duration) (degrades int64) {
+		for t := fromMs; t < toMs; t++ {
+			if c.onDequeue(int64(sojourn), ms(t)) {
+				degrades++
+			}
+		}
+		return degrades
+	}
+	if n := drive(0, 400, 5*time.Millisecond); n != 5 {
+		t.Fatalf("phase 1 degrades = %d, want 5", n)
+	}
+
+	// Phase 2: one healthy dequeue exits the dropping state.
+	if c.onDequeue(int64(200*time.Microsecond), ms(400)) {
+		t.Fatal("healthy dequeue was degraded")
+	}
+	if dropping, _ := c.snapshot(); dropping {
+		t.Fatal("below-Target dequeue did not exit the dropping state")
+	}
+
+	// Phase 3: overload returns at t=401ms — within 16 Intervals of the
+	// last scheduled degrade. Entry still takes a full Interval of standing
+	// queue (first degrade at 501ms), but the cadence resumes at
+	// count = 5 - 1 = 4, not at 1.
+	if n := drive(401, 502, 5*time.Millisecond); n != 1 {
+		t.Fatalf("phase 3 degrades = %d, want exactly the entry degrade", n)
+	}
+	if dropping, count := c.snapshot(); !dropping || count != 4 {
+		t.Fatalf("re-entry state = (dropping=%v, count=%d), want (true, 4): hysteresis lost", dropping, count)
+	}
+}
+
+// TestCodelColdReentryRelearns: when overload returns long after the last
+// episode (beyond 16 Intervals), the controller relearns the cadence from
+// count = 1 — stale cadence must not shed a fresh, unrelated overload hard.
+func TestCodelColdReentryRelearns(t *testing.T) {
+	c := newCodel(testTarget, testInterval)
+	for tMs := int64(0); tMs < 400; tMs++ {
+		c.onDequeue(int64(5*time.Millisecond), ms(tMs))
+	}
+	// Quiet gap of 20 Intervals (2s).
+	c.onDequeue(int64(100*time.Microsecond), ms(400))
+	// Overload returns at t=2400ms.
+	entered := false
+	for tMs := int64(2400); tMs < 2600 && !entered; tMs++ {
+		entered = c.onDequeue(int64(5*time.Millisecond), ms(tMs))
+	}
+	if !entered {
+		t.Fatal("cold re-entry never entered the dropping state")
+	}
+	if _, count := c.snapshot(); count != 1 {
+		t.Fatalf("cold re-entry count = %d, want 1 (must relearn after 16 Intervals)", count)
+	}
+}
+
+// TestCodelDeterministic: the controller is a pure function of its input
+// schedule — two replays of the same pseudo-random schedule produce
+// identical decision vectors. This is the property the sim-clock scenario
+// suite and the resume semantics of the overload tests rely on.
+func TestCodelDeterministic(t *testing.T) {
+	schedule := make([]time.Duration, 4000)
+	x := uint64(0x9E3779B97F4A7C15) // fixed splitmix-style walk, no global RNG
+	for i := range schedule {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		schedule[i] = time.Duration(x % uint64(4*time.Millisecond))
+	}
+	run := func() []int64 {
+		c := newCodel(testTarget, testInterval)
+		return driveGrid(c, len(schedule), 250*time.Microsecond, func(i int) time.Duration { return schedule[i] })
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at degrade %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

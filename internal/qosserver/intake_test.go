@@ -1,0 +1,138 @@
+package qosserver
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bucket"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func TestListenIntakesSingle(t *testing.T) {
+	conns, fallback, err := listenIntakes("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conns[0].Close()
+	if len(conns) != 1 || fallback {
+		t.Fatalf("len=%d fallback=%v, want 1 false", len(conns), fallback)
+	}
+}
+
+func TestListenIntakesReuseport(t *testing.T) {
+	if !reuseportAvailable {
+		t.Skip("SO_REUSEPORT not available on this platform")
+	}
+	conns, fallback, err := listenIntakes("127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	if len(conns) != 4 || fallback {
+		t.Fatalf("len=%d fallback=%v, want 4 false", len(conns), fallback)
+	}
+	// An ephemeral bind must resolve once: every socket shares the port the
+	// first bind drew.
+	addr0 := conns[0].LocalAddr().String()
+	for i, c := range conns {
+		if got := c.LocalAddr().String(); got != addr0 {
+			t.Fatalf("conn %d bound %s, conn 0 bound %s", i, got, addr0)
+		}
+	}
+}
+
+// TestMultiListenerServes drives a Listeners=4 server end-to-end from many
+// distinct client sockets (the kernel spreads flows by source port) and
+// checks every request is answered correctly no matter which intake slice
+// received it.
+func TestMultiListenerServes(t *testing.T) {
+	db := newDB(t, bucket.Rule{Key: "shared", RefillRate: 0, Capacity: 10_000, Credit: 10_000})
+	s := newServer(t, Config{Store: db, Listeners: 4, Workers: 4})
+
+	n, reuseport := s.Listeners()
+	if reuseportAvailable && (n != 4 || !reuseport) {
+		t.Fatalf("Listeners() = %d,%v, want 4,true", n, reuseport)
+	}
+	if !reuseportAvailable && n != 1 {
+		t.Fatalf("fallback Listeners() = %d, want 1", n)
+	}
+
+	const clients, perClient = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := transport.Dial(s.Addr(), clientCfg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < perClient; j++ {
+				resp, err := c.Do(wire.Request{Key: "shared", Cost: 1})
+				if err != nil {
+					errs <- fmt.Errorf("client %d req %d: %w", id, j, err)
+					return
+				}
+				if !resp.Allow || resp.Status != wire.StatusOK {
+					errs <- fmt.Errorf("client %d req %d: %+v", id, j, resp)
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := s.Stats()
+	if st.Decisions < clients*perClient {
+		t.Fatalf("decisions = %d, want >= %d", st.Decisions, clients*perClient)
+	}
+	if st.Degraded != 0 || st.Dropped != 0 {
+		t.Fatalf("healthy load degraded=%d dropped=%d", st.Degraded, st.Dropped)
+	}
+
+	snaps := s.SnapshotIntake()
+	if len(snaps) != n {
+		t.Fatalf("snapshot rows = %d, listeners = %d", len(snaps), n)
+	}
+	workers := 0
+	for _, row := range snaps {
+		if row.Workers < 1 {
+			t.Fatalf("intake %d has %d workers", row.Listener, row.Workers)
+		}
+		if row.CodelState != "ok" {
+			t.Fatalf("intake %d codel state %q, want ok", row.Listener, row.CodelState)
+		}
+		workers += row.Workers
+	}
+	if workers < 4 {
+		t.Fatalf("total workers = %d, want >= 4", workers)
+	}
+}
+
+func TestCodelDisabledByNegativeTarget(t *testing.T) {
+	s := newServer(t, Config{
+		DefaultRule: bucket.Rule{RefillRate: 1, Capacity: 1, Credit: 1},
+		CodelTarget: -1,
+	})
+	for _, row := range s.SnapshotIntake() {
+		if row.CodelState != "disabled" {
+			t.Fatalf("intake %d codel state %q, want disabled", row.Listener, row.CodelState)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+//go:build linux
+
+package qosserver
+
+import "syscall"
+
+// soReuseport is SO_REUSEPORT on Linux. The stdlib syscall package does not
+// export the constant (it lives in golang.org/x/sys/unix, which this repo
+// deliberately does not import), but the value has been 15 on every Linux
+// architecture Go supports since the option appeared in kernel 3.9.
+const soReuseport = 0xf
+
+// reuseportAvailable reports that this platform can share one UDP port
+// across independently-owned sockets.
+const reuseportAvailable = true
+
+// setReuseport is the net.ListenConfig.Control hook that marks the socket
+// SO_REUSEPORT before bind, so N intake sockets can own the same address
+// and the kernel spreads inbound datagrams across them by flow hash —
+// share-nothing intake without a user-space demultiplexer.
+func setReuseport(network, address string, c syscall.RawConn) error {
+	var serr error
+	if err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReuseport, 1)
+	}); err != nil {
+		return err
+	}
+	return serr
+}

@@ -1,0 +1,21 @@
+//go:build !linux
+
+package qosserver
+
+import (
+	"errors"
+	"syscall"
+)
+
+// reuseportAvailable: non-Linux platforms take the portable single-socket
+// fallback (SO_REUSEPORT exists on the BSDs but with different load-
+// balancing semantics; stdlib-only Janus does not special-case them).
+const reuseportAvailable = false
+
+var errReuseportUnsupported = errors.New("qosserver: SO_REUSEPORT intake not supported on this platform")
+
+// setReuseport fails the control hook, which routes New through the
+// portable single-socket fallback.
+func setReuseport(network, address string, c syscall.RawConn) error {
+	return errReuseportUnsupported
+}

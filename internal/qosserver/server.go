@@ -51,12 +51,33 @@ import (
 type Config struct {
 	// Addr is the UDP listen address ("127.0.0.1:0" for ephemeral).
 	Addr string
-	// Workers is the number of worker goroutines polling the FIFO; 0 means
+	// Workers is the number of worker goroutines polling the FIFOs; 0 means
 	// the number of available CPUs (the paper: "N equals to the number of
-	// vCPU's available on the QoS server").
+	// vCPU's available on the QoS server"). Workers are distributed across
+	// the intakes, at least one per intake.
 	Workers int
-	// QueueSize is the FIFO capacity between listener and workers.
+	// Listeners is the number of SO_REUSEPORT intake sockets, each owning a
+	// private FIFO, CoDel controller, and worker pool so the receive path
+	// is share-nothing from syscall to bucket shard (DESIGN.md §14). 0 or 1
+	// selects the single-socket intake; larger values require SO_REUSEPORT
+	// (Linux) and fall back to one socket — logged, not fatal — when the
+	// control hook fails.
+	Listeners int
+	// QueueSize is the per-intake FIFO capacity between listener and
+	// workers.
 	QueueSize int
+	// CodelTarget is the CoDel sojourn target for the intake FIFOs: once
+	// the queue-stage sojourn stays at or above it for CodelInterval, the
+	// server sheds queued requests by answering them with the degraded-mode
+	// default (StatusDegraded, no credit consumed) at the inverse-sqrt
+	// control-law cadence until the sojourn recovers. 0 selects
+	// DefaultCodelTarget (1ms); negative disables CoDel, restoring the
+	// seed's drop-only-when-full FIFO.
+	CodelTarget time.Duration
+	// CodelInterval is the CoDel interval: how long the sojourn must remain
+	// above target before shedding starts, and the base of the control-law
+	// cadence. 0 selects DefaultCodelInterval (100ms).
+	CodelInterval time.Duration
 	// TableKind selects the local QoS table implementation.
 	TableKind table.Kind
 	// DefaultRule is applied to keys absent from the database (§II-D). Its
@@ -114,8 +135,16 @@ type Config struct {
 
 // Stats are cumulative operation counters for one server.
 type Stats struct {
-	Received   int64 // datagrams pulled off the socket
-	Dropped    int64 // datagrams discarded because the FIFO was full
+	Received int64 // datagrams pulled off the sockets
+	// Dropped counts datagrams LOST because an intake FIFO was full — the
+	// client saw nothing and must retry. With CoDel enabled this should be
+	// near zero: the controller sheds by answering, not by losing.
+	Dropped int64
+	// Degraded counts request entries ANSWERED with the degraded-mode
+	// default (StatusDegraded) by the CoDel controller instead of a real
+	// admission decision. The client got a fast, actionable reply; no
+	// credit moved.
+	Degraded   int64
 	Malformed  int64 // datagrams that failed to decode
 	Decisions  int64 // admission decisions made
 	Allowed    int64
@@ -136,11 +165,19 @@ type Stats struct {
 // Server is a running QoS server node.
 type Server struct {
 	cfg   Config
-	conn  *net.UDPConn
 	table table.Table
-	clock func() time.Time
+	// aligned is the group-aligned view of table when the sharded intake
+	// is active (nil otherwise): one bucket-shard group per intake, so the
+	// refill plane partitions exactly like the receive plane.
+	aligned *table.Sharded
+	clock   func() time.Time
 
-	fifo chan packet
+	// intakes are the share-nothing receive slices (intake.go); intake 0's
+	// socket answers Addr(). reuseportFallback records that more than one
+	// listener was requested but the SO_REUSEPORT bind failed and the
+	// server degraded to the portable single socket.
+	intakes           []*intake
+	reuseportFallback bool
 
 	// defaults tracks keys served by the default rule, so responses carry
 	// StatusDefaultRule and checkpointing can skip them.
@@ -174,6 +211,7 @@ type Server struct {
 
 	received   *metrics.Counter
 	dropped    *metrics.Counter
+	codelDrops *metrics.Counter
 	malformed  *metrics.Counter
 	decisions  *metrics.Counter
 	allowed    *metrics.Counter
@@ -239,11 +277,7 @@ func (ks *keySet) Delete(key string) {
 
 // New starts a QoS server.
 func New(cfg Config) (*Server, error) {
-	laddr, err := net.ResolveUDPAddr("udp", cfg.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("qosserver: resolve %s: %w", cfg.Addr, err)
-	}
-	conn, err := net.ListenUDP("udp", laddr)
+	conns, fallback, err := listenIntakes(cfg.Addr, cfg.Listeners)
 	if err != nil {
 		return nil, fmt.Errorf("qosserver: listen %s: %w", cfg.Addr, err)
 	}
@@ -253,6 +287,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = 64 * 1024
 	}
+	codelTarget := cfg.CodelTarget
+	if codelTarget == 0 {
+		codelTarget = DefaultCodelTarget
+	}
+	codelInterval := cfg.CodelInterval
+	if codelInterval <= 0 {
+		codelInterval = DefaultCodelInterval
+	}
 	clock := cfg.Clock
 	if clock == nil {
 		clock = time.Now
@@ -260,6 +302,9 @@ func New(cfg Config) (*Server, error) {
 	logger := cfg.Logger
 	if logger == nil {
 		logger = log.New(discard{}, "", 0)
+	}
+	if fallback {
+		logger.Printf("qosserver: %d listeners requested but SO_REUSEPORT is unavailable; running the portable single-socket intake", cfg.Listeners)
 	}
 	reg := cfg.Registry
 	if reg == nil {
@@ -269,33 +314,86 @@ func New(cfg Config) (*Server, error) {
 	if tracer == nil {
 		tracer = trace.NewRecorder(trace.Config{})
 	}
+	// Build the intakes: each listener socket owns a private FIFO, CoDel
+	// controller, and worker share. Workers spread round-robin so every
+	// intake gets at least one.
+	intakes := make([]*intake, len(conns))
+	for i, c := range conns {
+		in := &intake{id: i, conn: c, fifo: make(chan packet, cfg.QueueSize)}
+		if codelTarget > 0 {
+			in.cdl = newCodel(codelTarget, codelInterval)
+		}
+		in.workers = cfg.Workers / len(conns)
+		if i < cfg.Workers%len(conns) {
+			in.workers++
+		}
+		if in.workers == 0 {
+			in.workers = 1
+		}
+		intakes[i] = in
+	}
+
+	// With a sharded multi-listener intake, align the bucket table's shard
+	// groups to the listeners so the maintenance plane (refill stripes)
+	// partitions exactly like the receive plane. Cross-shard key movement
+	// (handoff, lease revoke, sync churn) stays on the table's slow path.
+	var tbl table.Table
+	var aligned *table.Sharded
+	if len(intakes) > 1 && cfg.TableKind != table.KindMutex {
+		aligned = table.NewShardedAligned(len(intakes), 0)
+		tbl = aligned
+	} else {
+		tbl = table.New(cfg.TableKind)
+	}
+
 	s := &Server{
-		cfg:             cfg,
-		conn:            conn,
-		table:           table.New(cfg.TableKind),
-		clock:           clock,
-		fifo:            make(chan packet, cfg.QueueSize),
-		decisionLatency: metrics.NewHistogram(),
-		batchSize:       metrics.NewHistogram(),
-		registry:        reg,
-		tracer:          tracer,
-		received:        reg.Counter("janus_qos_received_total", "datagrams pulled off the UDP socket"),
-		dropped:         reg.Counter("janus_qos_dropped_total", "datagrams discarded because the FIFO was full"),
-		malformed:       reg.Counter("janus_qos_malformed_total", "datagrams that failed to decode"),
-		decisions:       reg.Counter("janus_qos_decisions_total", "admission decisions made"),
-		allowed:         reg.Counter("janus_qos_decisions_allowed_total", "decisions that admitted the request"),
-		denied:          reg.Counter("janus_qos_decisions_denied_total", "decisions that denied the request"),
-		dbQueries:       reg.Counter("janus_qos_db_queries_total", "rule fetches that hit the database"),
-		defaultHit:      reg.Counter("janus_qos_default_rule_total", "decisions served by the default rule"),
-		dbErrors:        reg.Counter("janus_qos_db_errors_total", "database operations that failed"),
-		sendErrors:      reg.Counter("janus_qos_send_errors_total", "response datagrams the kernel refused to send"),
-		quit:            make(chan struct{}),
-		logger:          logger,
+		cfg:               cfg,
+		table:             tbl,
+		aligned:           aligned,
+		clock:             clock,
+		intakes:           intakes,
+		reuseportFallback: fallback,
+		decisionLatency:   metrics.NewHistogram(),
+		batchSize:         metrics.NewHistogram(),
+		registry:          reg,
+		tracer:            tracer,
+		received:          reg.Counter("janus_qos_received_total", "datagrams pulled off the UDP sockets"),
+		dropped:           reg.Counter("janus_qos_dropped_total", "datagrams LOST at the intake (clients saw nothing and must retry)", metrics.Label{Key: "reason", Value: "fifo_full"}),
+		codelDrops:        reg.Counter("janus_qos_codel_drops_total", "request entries answered with the degraded-mode default by the CoDel controller (no credit consumed, never silently lost)"),
+		malformed:         reg.Counter("janus_qos_malformed_total", "datagrams that failed to decode"),
+		decisions:         reg.Counter("janus_qos_decisions_total", "admission decisions made"),
+		allowed:           reg.Counter("janus_qos_decisions_allowed_total", "decisions that admitted the request"),
+		denied:            reg.Counter("janus_qos_decisions_denied_total", "decisions that denied the request"),
+		dbQueries:         reg.Counter("janus_qos_db_queries_total", "rule fetches that hit the database"),
+		defaultHit:        reg.Counter("janus_qos_default_rule_total", "decisions served by the default rule"),
+		dbErrors:          reg.Counter("janus_qos_db_errors_total", "database operations that failed"),
+		sendErrors:        reg.Counter("janus_qos_send_errors_total", "response datagrams the kernel refused to send"),
+		quit:              make(chan struct{}),
+		logger:            logger,
 	}
 	reg.RegisterHistogram("janus_qos_decision_latency_ns", "worker-side admission decision latency in nanoseconds", s.decisionLatency)
 	reg.RegisterHistogram("janus_qos_batch_size", "request entries per received datagram (1 = unbatched router)", s.batchSize)
 	reg.GaugeFunc("janus_qos_table_keys", "keys resident in the local QoS table", func() float64 { return float64(s.table.Len()) })
-	reg.GaugeFunc("janus_qos_fifo_depth", "datagrams queued between listener and workers", func() float64 { return float64(len(s.fifo)) })
+	reg.GaugeFunc("janus_qos_fifo_depth", "datagrams queued between listeners and workers, summed over intakes", func() float64 {
+		n := 0
+		for _, in := range s.intakes {
+			n += len(in.fifo)
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("janus_qos_listeners", "intake listener sockets (1 = single-socket, >1 = SO_REUSEPORT sharded)", func() float64 { return float64(len(s.intakes)) })
+	if codelTarget > 0 {
+		reg.GaugeFunc("janus_qos_codel_state", "intake FIFOs currently in the CoDel dropping state (0 = all queues healthy)", func() float64 {
+			n := 0
+			for _, in := range s.intakes {
+				if dropping, _ := in.cdl.snapshot(); dropping {
+					n++
+				}
+			}
+			return float64(n)
+		})
+		reg.GaugeFunc("janus_qos_codel_target_seconds", "CoDel sojourn target", codelTarget.Seconds)
+	}
 	const sojournHelp = "per-stage request sojourn inside the QoS server in seconds (queue: socket recv to FIFO dequeue; decide: dequeue to all decisions made; send: decisions to response sent; total: recv to sent)"
 	s.sojournQueue = reg.HistogramScaled("janus_qos_sojourn_seconds", sojournHelp, 1e-9, metrics.Label{Key: "stage", Value: "queue"})
 	s.sojournDecide = reg.HistogramScaled("janus_qos_sojourn_seconds", sojournHelp, 1e-9, metrics.Label{Key: "stage", Value: "decide"})
@@ -323,20 +421,34 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ReplicationAddr != "" {
 		ha, err := newHAListener(s, cfg.ReplicationAddr)
 		if err != nil {
-			_ = conn.Close()
+			for _, in := range intakes {
+				_ = in.conn.Close()
+			}
 			return nil, err
 		}
 		s.ha = ha
 	}
-	s.wg.Add(1)
-	go s.listen()
-	for i := 0; i < cfg.Workers; i++ {
+	for _, in := range s.intakes {
 		s.wg.Add(1)
-		go s.worker()
+		go s.listen(in)
+		for i := 0; i < in.workers; i++ {
+			s.wg.Add(1)
+			go s.worker(in)
+		}
 	}
 	if cfg.RefillInterval > 0 {
-		s.wg.Add(1)
-		go s.housekeeping()
+		if s.aligned != nil {
+			// One refill stripe per intake: intake i sweeps shard groups
+			// i, i+N, i+2N, ... so no two stripes ever touch the same
+			// shard locks — maintenance aligned with the receive plane.
+			for _, in := range s.intakes {
+				s.wg.Add(1)
+				go s.housekeepingStripe(in.id)
+			}
+		} else {
+			s.wg.Add(1)
+			go s.housekeeping()
+		}
 	}
 	if cfg.SyncInterval > 0 && cfg.Store != nil {
 		s.wg.Add(1)
@@ -364,8 +476,9 @@ type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
 
-// Addr returns the UDP address the server listens on.
-func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
+// Addr returns the UDP address the server listens on (all intake sockets
+// share it).
+func (s *Server) Addr() string { return s.intakes[0].conn.LocalAddr().String() }
 
 // ReplicationAddr returns the HA listener address, or "" if HA is disabled.
 func (s *Server) ReplicationAddr() string {
@@ -380,18 +493,20 @@ func (s *Server) ReplicationAddr() string {
 // loss on the wire, and is recovered (or not) by the router's retries.
 var fpUDPRecv = failpoint.New("qosserver/udp/recv")
 
-// listen is the UDP listener thread: it receives packets and pushes them
-// into the FIFO. A full FIFO drops the packet — the router's retry covers
-// the loss, exactly the failure mode the paper's UDP discipline anticipates.
+// listen is one intake's listener thread: it receives packets from its own
+// SO_REUSEPORT socket and pushes them into its private FIFO. A full FIFO
+// still drops the packet — the router's retry covers the loss — but with
+// CoDel controlling the queue the FIFO should never get near full: the
+// controller sheds by ANSWERING (worker-side) long before the queue fills.
 //
 // socket, which unblocks ReadFromUDP with an error and ends the loop.
 //
 //janus:deadlined the accept-style read blocks by design; Close() closes the
-func (s *Server) listen() {
+func (s *Server) listen(in *intake) {
 	defer s.wg.Done()
 	for {
 		buf := make([]byte, 2048)
-		n, raddr, err := s.conn.ReadFromUDP(buf)
+		n, raddr, err := in.conn.ReadFromUDP(buf)
 		if err != nil {
 			return // socket closed
 		}
@@ -405,19 +520,36 @@ func (s *Server) listen() {
 		}
 		s.received.Inc()
 		select {
-		case s.fifo <- packet{data: buf[:n], raddr: raddr, recvNs: s.clock().UnixNano()}:
+		case in.fifo <- packet{data: buf[:n], raddr: raddr, recvNs: s.clock().UnixNano()}:
 		default:
 			s.dropped.Inc()
 		}
 	}
 }
 
-// worker polls the FIFO, decides, and responds. One FIFO slot may carry a
-// whole coalesced batch (wire.FlagBatched): the worker evaluates every entry
-// against the bucket table in one pass and answers with one batched
-// response, so the fan-in amortization the router bought on the send side
-// is preserved through the server's queue and reply syscall.
-func (s *Server) worker() {
+// fpWorkerDecide pins the cost of the full decision path: a Delay action
+// models a slow decision service (cold cache, CPU contention, an expensive
+// rule) with a deterministic per-datagram stall. The overload scenario
+// suite uses it as the service-rate governor — offered load and capacity
+// are then both exact, so 1x/2x/10x are real multipliers, not guesses. The
+// CoDel degraded path deliberately does NOT pass through this failpoint:
+// shedding is cheap, which is what gives the controller leverage.
+var fpWorkerDecide = failpoint.New("qosserver/worker/decide")
+
+// worker polls its intake's FIFO, decides, and responds. One FIFO slot may
+// carry a whole coalesced batch (wire.FlagBatched): the worker evaluates
+// every entry against the bucket table in one pass and answers with one
+// batched response, so the fan-in amortization the router bought on the
+// send side is preserved through the server's queue and reply syscall.
+//
+// Before deciding, the dequeued packet's queue sojourn feeds the intake's
+// CoDel controller: a packet the controller sheds is answered immediately
+// with the degraded-mode default (StatusDegraded, the server's fail-open/
+// fail-closed verdict, no credit consumed) instead of being decided —
+// never silently dropped. The degraded path skips the admission decision
+// and the lease plumbing, which is what makes shedding cheaper than
+// serving and lets the control law actually shorten the queue.
+func (s *Server) worker(in *intake) {
 	defer s.wg.Done()
 	// The decode batch, response slice, and encode buffer are owned by this
 	// worker and reused across packets: with a recurring key set the whole
@@ -430,7 +562,7 @@ func (s *Server) worker() {
 		select {
 		case <-s.quit:
 			return
-		case pkt = <-s.fifo:
+		case pkt = <-in.fifo:
 		}
 		deqNs := s.clock().UnixNano()
 		if err := wire.DecodeBatchRequestReuse(pkt.data, &breq); err != nil {
@@ -438,12 +570,24 @@ func (s *Server) worker() {
 			continue
 		}
 		s.batchSize.Record(int64(len(breq.Entries)))
-		resps = s.DecideBatchAppend(resps[:0], breq.Entries)
-		// Lease traffic rides singleton exchanges only (FlagLease and
-		// FlagBatched are mutually exclusive on the wire), so lease asks are
-		// served — and pending revocations delivered — on unbatched frames.
-		if s.leases != nil && len(breq.Entries) == 1 {
-			s.attachLease(&breq.Entries[0], &resps[0], pkt.raddr.String())
+		if in.cdl != nil && in.cdl.onDequeue(deqNs-pkt.recvNs, deqNs) {
+			in.cdl.drops.Add(int64(len(breq.Entries)))
+			s.codelDrops.Add(int64(len(breq.Entries)))
+			resps = appendDegraded(resps[:0], breq.Entries, s.cfg.FailOpen)
+		} else {
+			if fpWorkerDecide.Armed() {
+				if o := fpWorkerDecide.Eval(); o.Kind == failpoint.Delay {
+					o.Sleep()
+				}
+			}
+			resps = s.DecideBatchAppend(resps[:0], breq.Entries)
+			// Lease traffic rides singleton exchanges only (FlagLease and
+			// FlagBatched are mutually exclusive on the wire), so lease asks
+			// are served — and pending revocations delivered — on unbatched
+			// frames.
+			if s.leases != nil && len(breq.Entries) == 1 {
+				s.attachLease(&breq.Entries[0], &resps[0], pkt.raddr.String())
+			}
 		}
 		decNs := s.clock().UnixNano()
 		var err error
@@ -459,11 +603,30 @@ func (s *Server) worker() {
 		// send the kernel refused is counted, or silent drops would read as
 		// router-side packet loss.
 		//lint:ignore deadline fire-and-forget UDP send; WriteToUDP does not block on the peer
-		if _, err := s.conn.WriteToUDP(out, pkt.raddr); err != nil {
+		if _, err := in.conn.WriteToUDP(out, pkt.raddr); err != nil {
 			s.sendErrors.Inc()
 		}
 		s.observeSojourn(pkt.recvNs, deqNs, decNs, s.clock().UnixNano())
 	}
+}
+
+// appendDegraded builds the degraded-mode answers for a shed datagram: one
+// response per entry carrying StatusDegraded and the server's fail-open/
+// fail-closed default verdict. No bucket is touched and no credit moves —
+// the chaos invariant TestInvariantCodelNeverInflatesAdmission pins that a
+// degraded reply can never mint credit.
+//
+//janus:hotpath
+func appendDegraded(dst []wire.Response, reqs []wire.Request, failOpen bool) []wire.Response {
+	for i := range reqs {
+		dst = append(dst, wire.Response{
+			ID:      reqs[i].ID,
+			Allow:   failOpen,
+			Status:  wire.StatusDegraded,
+			TraceID: reqs[i].TraceID,
+		})
+	}
+	return dst
 }
 
 // observeSojourn files one packet's per-stage sojourn decomposition and
@@ -734,7 +897,8 @@ func (s *Server) Preload() error {
 	return nil
 }
 
-// housekeeping refills all buckets at the configured interval (§III-C).
+// housekeeping refills all buckets at the configured interval (§III-C);
+// the single-intake path.
 func (s *Server) housekeeping() {
 	defer s.wg.Done()
 	t := time.NewTicker(s.cfg.RefillInterval)
@@ -745,6 +909,27 @@ func (s *Server) housekeeping() {
 			return
 		case <-t.C:
 			s.table.RefillAll(s.clock())
+		}
+	}
+}
+
+// housekeepingStripe is intake id's refill stripe over the aligned table:
+// it sweeps shard groups id, id+N, id+2N, ... so concurrent stripes never
+// contend on a shard lock — the maintenance plane partitioned like the
+// receive plane.
+func (s *Server) housekeepingStripe(id int) {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.RefillInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			now := s.clock()
+			for g := id; g < s.aligned.Groups(); g += len(s.intakes) {
+				s.aligned.RefillGroup(g, now)
+			}
 		}
 	}
 }
@@ -908,6 +1093,7 @@ func (s *Server) Stats() Stats {
 	st := Stats{
 		Received:   s.received.Value(),
 		Dropped:    s.dropped.Value(),
+		Degraded:   s.codelDrops.Value(),
 		Malformed:  s.malformed.Value(),
 		Decisions:  s.decisions.Value(),
 		Allowed:    s.allowed.Value(),
@@ -981,7 +1167,11 @@ func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		close(s.quit)
-		err = s.conn.Close()
+		for _, in := range s.intakes {
+			if cerr := in.conn.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
 		if s.ha != nil {
 			s.ha.Close()
 		}

@@ -121,9 +121,21 @@ func (t *Mutex) RefillAll(now time.Time) {
 }
 
 // Sharded splits the key space across independently locked shards.
+//
+// The shards may additionally be organized into GROUPS — contiguous runs of
+// perGroup shards — for the sharded SO_REUSEPORT intake (qosserver,
+// DESIGN.md §14): the QoS server builds the table with one group per
+// intake listener so per-group maintenance sweeps (refill stripes) align
+// with the receive plane and never contend across intakes. Grouping only
+// partitions iteration (RangeGroup/RefillGroup); the per-key operations are
+// group-oblivious, and cross-shard key movement (handoff, lease revoke,
+// rule-sync churn) keeps using the plain Range/Put/Delete slow path.
 type Sharded struct {
 	shards []shard
 	mask   uint32
+	// perGroup is the power-of-two number of consecutive shards per group;
+	// equal to len(shards) for an ungrouped table (one group).
+	perGroup uint32
 }
 
 type shard struct {
@@ -134,35 +146,103 @@ type shard struct {
 // DefaultShards is the shard count used by NewSharded when 0 is passed.
 const DefaultShards = 64
 
+// DefaultShardsPerGroup is the per-group shard count used by
+// NewShardedAligned when 0 is passed.
+const DefaultShardsPerGroup = 16
+
 // NewSharded returns a table with n shards; n is rounded up to a power of
 // two, and n <= 0 selects DefaultShards.
 func NewSharded(n int) *Sharded {
-	if n <= 0 {
-		n = DefaultShards
-	}
-	size := 1
-	for size < n {
-		size <<= 1
-	}
-	t := &Sharded{shards: make([]shard, size), mask: uint32(size - 1)}
+	size := ceilPow2(n, DefaultShards)
+	t := &Sharded{shards: make([]shard, size), mask: uint32(size - 1), perGroup: uint32(size)}
 	for i := range t.shards {
 		t.shards[i].m = make(map[string]*bucket.Bucket)
 	}
 	return t
 }
 
-// shardFor hashes key with inline FNV-1a: hashing the string directly (no
+// NewShardedAligned returns a table whose shards are organized into groups
+// aligned to an external fan-out (one group per intake listener in
+// qosserver). Both groups and perGroup are rounded up to powers of two;
+// groups <= 0 selects one group, perGroup <= 0 selects
+// DefaultShardsPerGroup. The total shard count is groups * perGroup.
+func NewShardedAligned(groups, perGroup int) *Sharded {
+	g := ceilPow2(groups, 1)
+	p := ceilPow2(perGroup, DefaultShardsPerGroup)
+	t := NewSharded(g * p)
+	t.perGroup = uint32(p)
+	return t
+}
+
+// ceilPow2 rounds n up to a power of two; n <= 0 selects def (which must
+// itself be a power of two).
+func ceilPow2(n, def int) int {
+	if n <= 0 {
+		return def
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return size
+}
+
+// hashFor hashes key with inline FNV-1a: hashing the string directly (no
 // []byte conversion, no hash.Hash construction) keeps the per-decision
 // lookup allocation-free regardless of key length.
 //
 //janus:hotpath
-func (t *Sharded) shardFor(key string) *shard {
+func hashFor(key string) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(key); i++ {
 		h ^= uint32(key[i])
 		h *= 16777619
 	}
-	return &t.shards[h&t.mask]
+	return h
+}
+
+//janus:hotpath
+func (t *Sharded) shardFor(key string) *shard {
+	return &t.shards[hashFor(key)&t.mask]
+}
+
+// Groups returns the number of shard groups (1 for an ungrouped table).
+func (t *Sharded) Groups() int { return len(t.shards) / int(t.perGroup) }
+
+// GroupFor returns the group key's shard belongs to. It uses the same hash
+// as the shard selection, so a group is exactly a contiguous run of
+// perGroup shards — the alignment contract the QoS server's refill stripes
+// rely on.
+//
+//janus:hotpath
+func (t *Sharded) GroupFor(key string) int {
+	return int((hashFor(key) & t.mask) / t.perGroup)
+}
+
+// RangeGroup is Range restricted to group g's shards. Each shard's lock is
+// held only while that shard is iterated.
+func (t *Sharded) RangeGroup(g int, fn func(string, *bucket.Bucket) bool) {
+	lo, hi := g*int(t.perGroup), (g+1)*int(t.perGroup)
+	for i := lo; i < hi; i++ {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for k, b := range s.m {
+			if !fn(k, b) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// RefillGroup brings group g's buckets current to now — one intake's
+// housekeeping stripe.
+func (t *Sharded) RefillGroup(g int, now time.Time) {
+	t.RangeGroup(g, func(_ string, b *bucket.Bucket) bool {
+		b.Refill(now)
+		return true
+	})
 }
 
 // Get implements Table.

@@ -96,6 +96,13 @@ const (
 	// StatusLeased means the router admitted the key locally from a credit
 	// lease (internal/lease) without consulting the server.
 	StatusLeased Status = 4
+	// StatusDegraded means the QoS server's CoDel queue controller answered
+	// the request with the degraded-mode default instead of running the
+	// admission decision: the request sat in the intake FIFO beyond the
+	// sojourn target and was shed to keep the queue short (DESIGN.md §14).
+	// The verdict carries the server's fail-open/fail-closed default and
+	// consumed no credit.
+	StatusDegraded Status = 5
 )
 
 // String implements fmt.Stringer.
@@ -111,6 +118,8 @@ func (s Status) String() string {
 		return "error"
 	case StatusLeased:
 		return "leased"
+	case StatusDegraded:
+		return "degraded"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
