@@ -10,7 +10,11 @@ LDFLAGS := -X repro/internal/version.Version=$(VERSION)
 # reproduces with the same seed.
 JANUS_CHAOS_SEED ?= 1
 
-.PHONY: check check-race build test vet lint lint-json lint-manifest race chaos chaos-long fuzz-smoke bench-allocs bench-membership bench-observability bench-failpoint bench-batching bench-lease bench-hotpath race-overload smoke-metrics
+# Seed for the scenario suite's workload generators (DES tier replays the
+# identical run for the same seed).
+JANUS_SCENARIO_SEED ?= 1
+
+.PHONY: check check-race build test vet lint lint-json lint-manifest race chaos chaos-long fuzz-smoke bench-allocs bench-membership bench-observability bench-failpoint bench-batching bench-lease bench-hotpath race-overload race-scenarios scenarios scenarios-long smoke-metrics
 
 # The pre-merge gate: static checks, the janus-vet analyzer suite, build,
 # and the full test suite.
@@ -121,6 +125,31 @@ bench-hotpath:
 race-overload:
 	$(GO) test -race -count=20 -run 'TestCodel|TestOverload|TestIntakeShardedStress|TestMultiListener' ./internal/qosserver/
 	JANUS_CHAOS_SEED=$(JANUS_CHAOS_SEED) $(GO) test -race -count=20 -run TestInvariantCodelNeverInflatesAdmission ./chaostest/
+
+# The scenario suite — the SLO regression gate: five named adversarial
+# workloads (Zipf hot-set churn, diurnal sine, 10× flash crowd,
+# multi-tenant rule classes, slow-loris) each run twice, as a deterministic
+# million-user DES and against a live loopback cluster with autoscale in
+# the loop, and every report is checked against the scenario's SLO budget.
+# Regenerates BENCH_scenarios.json. See internal/scenario and DESIGN.md §15.
+scenarios:
+	JANUS_SCENARIOS_REAL=1 JANUS_SCENARIO_SEED=$(JANUS_SCENARIO_SEED) \
+		JANUS_SCENARIOS_JSON=$(CURDIR)/BENCH_scenarios.json \
+		$(GO) test -count=1 -v -run 'TestDES|TestRealScenariosMeetSLO' ./internal/scenario/
+
+# Nightly variant: the real tier runs each scenario's long budget (~3×).
+scenarios-long:
+	JANUS_SCENARIOS_REAL=1 JANUS_SCENARIO_BUDGET=long JANUS_SCENARIO_SEED=$(JANUS_SCENARIO_SEED) \
+		JANUS_SCENARIOS_JSON=$(CURDIR)/BENCH_scenarios.json \
+		$(GO) test -count=1 -v -run 'TestDES|TestRealScenariosMeetSLO' ./internal/scenario/
+
+# The flash-crowd-under-loss race acceptance: the scenario invariant (20%
+# receive loss + 10× crowd must not mint credit, drop datagrams, or blind
+# the autoscaler) green for 20 consecutive seeds under the race detector.
+race-scenarios:
+	for seed in $$(seq 1 20); do \
+		JANUS_CHAOS_SEED=$$seed $(GO) test -race -count=1 -run TestInvariantFlashCrowdUnderLoss ./chaostest/ || exit 1; \
+	done
 
 # Boots the four-tier stack with -metrics-addr and asserts every daemon's
 # /metrics answers with janus_* series.

@@ -7,10 +7,14 @@
 //
 //	janus-ab -endpoint 127.0.0.1:9090 -n 100000 -c 64 -keys uuid
 //	janus-ab -endpoint 127.0.0.1:9090 -rate 130 -noise 0.3 -t 100s -keys fixed:203.0.113.50
+//	janus-ab -scenario list
+//	janus-ab -scenario flash-crowd                  (DES tier, deterministic)
+//	janus-ab -scenario flash-crowd -tier real -long (boots a loopback cluster)
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/loadgen"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -28,11 +33,18 @@ func main() {
 		rate     = flag.Float64("rate", 0, "open-loop request rate (req/s; overrides -n/-c pacing)")
 		noise    = flag.Float64("noise", 0, "open-loop inter-arrival noise fraction (0..1)")
 		duration = flag.Duration("t", 10*time.Second, "run duration when -n is 0 or -rate is set")
-		keys     = flag.String("keys", "uuid", "key population: uuid|timestamp|words|seq[:N]|fixed:K|cycle:a,b,c")
+		keys     = flag.String("keys", "uuid", "key population: uuid|timestamp|words|seq[:N]|fixed:K|cycle:a,b,c|zipf:s:N|tiered:spec@w,...")
 		seed     = flag.Int64("seed", 1, "key generator seed")
 		series   = flag.Bool("series", false, "print per-second accepted/rejected series")
+		scn      = flag.String("scenario", "", "replay a named workload scenario standalone and print its SLO report ('list' to enumerate)")
+		tier     = flag.String("tier", "des", "scenario tier: des (simulated, deterministic per -seed) or real (boots a loopback cluster)")
+		long     = flag.Bool("long", false, "use the scenario's nightly (long) budget in the real tier")
 	)
 	flag.Parse()
+	if *scn != "" {
+		runScenario(*scn, *tier, *seed, *long)
+		return
+	}
 	gen, err := loadgen.FromSpec(*keys, *seed)
 	if err != nil {
 		log.Fatal(err)
@@ -89,6 +101,43 @@ func main() {
 		}
 	}
 	if res.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// runScenario replays one named scenario from the regression suite outside
+// the test harness — for calibrating SLO budgets and eyeballing a change's
+// effect before `make scenarios` renders a verdict. The full report is
+// printed as JSON; the exit code is the SLO verdict.
+func runScenario(name, tier string, seed int64, long bool) {
+	if name == "list" {
+		for _, sc := range scenario.All() {
+			fmt.Printf("%-14s %s\n", sc.Name, sc.Desc)
+		}
+		return
+	}
+	sc, err := scenario.Get(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rep scenario.Report
+	switch tier {
+	case "des":
+		rep = scenario.RunDES(sc, seed)
+	case "real":
+		rep, err = scenario.RunReal(context.Background(), sc, seed, long)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown tier %q (want des or real)", tier)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(out))
+	if !rep.SLOPass {
 		os.Exit(1)
 	}
 }

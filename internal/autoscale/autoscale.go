@@ -85,6 +85,14 @@ func (d Decision) String() string {
 type Group struct {
 	cfg Config
 
+	// evalMu serializes whole control steps. Without it, two concurrent
+	// EvaluateOnce calls (the Start loop plus a manual caller, or two
+	// loops after a double Start) both observe capacity below Max and
+	// cooling=false, then both fire ScaleOut — breaching Max and the
+	// cooldown, and invoking the user's Capacity/Scale* callbacks
+	// concurrently even though nothing documents them as thread-safe.
+	evalMu sync.Mutex
+
 	mu         sync.Mutex
 	lastAction time.Time
 	history    []Event
@@ -131,8 +139,13 @@ func New(cfg Config) (*Group, error) {
 	return &Group{cfg: cfg, quit: make(chan struct{}), done: make(chan struct{})}, nil
 }
 
-// EvaluateOnce runs one control step and returns its decision.
+// EvaluateOnce runs one control step and returns its decision. Steps are
+// serialized: the metric sample, the bound/cooldown checks, and the action
+// execute atomically with respect to other EvaluateOnce calls.
 func (g *Group) EvaluateOnce() Decision {
+	g.evalMu.Lock()
+	defer g.evalMu.Unlock()
+
 	m := g.cfg.Metric()
 	now := g.cfg.Clock()
 	capacity := g.cfg.Capacity()
@@ -212,9 +225,15 @@ func (g *Group) History() []Event {
 	return append([]Event(nil), g.history...)
 }
 
-// Start launches the periodic evaluation loop.
+// Start launches the periodic evaluation loop. Calling Start again on a
+// running Group is a no-op: a second loop would double the evaluation rate
+// and race the first on the done channel.
 func (g *Group) Start() {
 	g.mu.Lock()
+	if g.started {
+		g.mu.Unlock()
+		return
+	}
 	g.started = true
 	g.mu.Unlock()
 	go func() {

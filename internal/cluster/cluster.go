@@ -108,6 +108,18 @@ type Config struct {
 	LeaseFraction float64
 	// LeaseTTL is the lease lifetime; 0 means lease.DefaultTTL.
 	LeaseTTL time.Duration
+	// QoSListeners sets the number of SO_REUSEPORT intake sockets per QoS
+	// server (0 = single portable socket).
+	QoSListeners int
+	// CodelTarget / CodelInterval tune the CoDel intake controller on every
+	// QoS server (0 selects the qosserver defaults; negative CodelTarget
+	// disables CoDel, restoring drop-when-full).
+	CodelTarget   time.Duration
+	CodelInterval time.Duration
+	// Audit enables the online admission-audit ledger on every QoS server;
+	// AuditInterval is its background pass period.
+	Audit         bool
+	AuditInterval time.Duration
 }
 
 func (c *Config) defaults() {
@@ -345,11 +357,16 @@ func (c *Cluster) qosConfig() qosserver.Config {
 	cfg := qosserver.Config{
 		Addr:               "127.0.0.1:0",
 		Workers:            c.cfg.QoSWorkers,
+		Listeners:          c.cfg.QoSListeners,
 		TableKind:          c.cfg.TableKind,
 		DefaultRule:        c.cfg.DefaultRule,
 		RefillInterval:     c.cfg.RefillInterval,
 		SyncInterval:       c.cfg.SyncInterval,
 		CheckpointInterval: c.cfg.CheckpointInterval,
+		CodelTarget:        c.cfg.CodelTarget,
+		CodelInterval:      c.cfg.CodelInterval,
+		Audit:              c.cfg.Audit,
+		AuditInterval:      c.cfg.AuditInterval,
 		Store:              c.Store,
 	}
 	if c.cfg.Lease {
@@ -667,6 +684,61 @@ func (c *Cluster) FailDB() error {
 		return err
 	}
 	return nil
+}
+
+// AggregateQoSStats sums the operation counters across every QoS node
+// (masters and slaves) — the cluster-wide view scenario SLO checks read.
+func (c *Cluster) AggregateQoSStats() qosserver.Stats {
+	c.mu.Lock()
+	pairs := append([]*QoSPair(nil), c.QoS...)
+	c.mu.Unlock()
+	var agg qosserver.Stats
+	add := func(s qosserver.Stats) {
+		agg.Received += s.Received
+		agg.Dropped += s.Dropped
+		agg.Degraded += s.Degraded
+		agg.Malformed += s.Malformed
+		agg.Decisions += s.Decisions
+		agg.Allowed += s.Allowed
+		agg.Denied += s.Denied
+		agg.DBQueries += s.DBQueries
+		agg.DefaultHit += s.DefaultHit
+		agg.DBErrors += s.DBErrors
+		agg.SendErrors += s.SendErrors
+		agg.LeaseGrants += s.LeaseGrants
+		agg.LeaseDenies += s.LeaseDenies
+		agg.LeaseRevokes += s.LeaseRevokes
+		agg.Leases += s.Leases
+		agg.LeasedRate += s.LeasedRate
+	}
+	for _, p := range pairs {
+		if p.Master != nil {
+			add(p.Master.Stats())
+		}
+		if p.Slave != nil {
+			add(p.Slave.Stats())
+		}
+	}
+	return agg
+}
+
+// MaxCurrentSojourn returns the worst queue-stage sojourn gauge across the
+// QoS masters — the cluster-wide CoDel control signal, usable as an
+// autoscale metric.
+func (c *Cluster) MaxCurrentSojourn() time.Duration {
+	c.mu.Lock()
+	pairs := append([]*QoSPair(nil), c.QoS...)
+	c.mu.Unlock()
+	var max time.Duration
+	for _, p := range pairs {
+		if p.Master == nil {
+			continue
+		}
+		if d := p.Master.CurrentSojourn(); d > max {
+			max = d
+		}
+	}
+	return max
 }
 
 // TotalDecisions sums admission decisions across all QoS nodes.

@@ -280,3 +280,39 @@ func TestCloseIdempotent(t *testing.T) {
 	c.Close()
 	c.Close()
 }
+
+func TestQoSIntakeAndAuditPassThrough(t *testing.T) {
+	c := newCluster(t, Config{
+		Routers:       1,
+		QoSServers:    1,
+		QoSListeners:  2,
+		CodelTarget:   5 * time.Millisecond,
+		CodelInterval: 50 * time.Millisecond,
+		Audit:         true,
+		AuditInterval: 10 * time.Millisecond,
+		Rules:         rules(2, 0, 5),
+	})
+	for i := 0; i < 10; i++ {
+		if _, err := c.Check("user-0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The audit ledger only exists when Config.Audit reached the server.
+	rep := c.QoS[0].Master.AuditReport()
+	if rep.Verdict != "ok" {
+		t.Fatalf("audit verdict = %q", rep.Verdict)
+	}
+	if rep.Buckets == 0 {
+		t.Fatal("audit saw no buckets; Audit flag not plumbed through")
+	}
+	agg := c.AggregateQoSStats()
+	if agg.Decisions != 10 || agg.Dropped != 0 {
+		t.Fatalf("aggregate stats = %+v", agg)
+	}
+	if c.MaxCurrentSojourn() < 0 {
+		t.Fatal("negative sojourn")
+	}
+	if c.QoS[0].Master.SojournTotal().Count() == 0 {
+		t.Fatal("sojourn histogram empty")
+	}
+}

@@ -57,6 +57,7 @@ var simClockScope = []string{
 	"internal/sim",
 	"internal/cloudsim",
 	"internal/loadgen",
+	"internal/scenario",
 }
 
 var bannedTimeFuncs = map[string]string{

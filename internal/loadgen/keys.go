@@ -177,6 +177,148 @@ func (g *CyclicGen) Clone(workerID int) KeyGen {
 	return &CyclicGen{keys: g.keys, pos: workerID}
 }
 
+// ZipfGen draws keys with Zipfian popularity — the skewed per-key demand of
+// real SaaS traffic ("The Tail at Scale": tail SLOs only surface under
+// skew). Rank r is drawn with P(r) ∝ 1/(v+r)^s over r ∈ [0, N); the key for
+// rank r is "z<N>-<r>", so two generators over the same population produce
+// the same key space regardless of seed, and populations of different size
+// never collide. An optional hot-set rotation models churn: every
+// RotateEvery draws the rank→key mapping shifts by RotateStep, so
+// yesterday's cold keys become today's celebrities. Rotation is counted in
+// draws, not wall time, so the same stream replays identically in the DES
+// and against a live cluster.
+type ZipfGen struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	s    float64
+	n    uint64
+
+	rotateEvery int64  // draws between rotations; 0 disables churn
+	rotateStep  uint64 // rank offset added per rotation
+	offset      uint64
+	draws       int64
+}
+
+// NewZipfGen returns a seeded Zipfian generator over n keys with exponent
+// s (> 1, steeper = more skewed). rotateEvery > 0 enables hot-set churn:
+// the popularity ranking rotates by rotateStep ranks every rotateEvery
+// draws.
+func NewZipfGen(seed int64, s float64, n int, rotateEvery int64, rotateStep int) *ZipfGen {
+	if s <= 1 {
+		s = 1.0001
+	}
+	if n < 1 {
+		n = 1
+	}
+	if rotateStep <= 0 {
+		rotateStep = 1 + n/10
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &ZipfGen{
+		rng:         rng,
+		zipf:        rand.NewZipf(rng, s, 1, uint64(n-1)),
+		s:           s,
+		n:           uint64(n),
+		rotateEvery: rotateEvery,
+		rotateStep:  uint64(rotateStep),
+	}
+}
+
+// ZipfKey returns the key string for rank r in a population of n — the
+// inverse mapping scenario harnesses use to pre-seed rules for the hot set.
+func ZipfKey(n int, r int) string { return fmt.Sprintf("z%d-%d", n, r) }
+
+// Next implements KeyGen.
+func (g *ZipfGen) Next() string {
+	if g.rotateEvery > 0 && g.draws > 0 && g.draws%g.rotateEvery == 0 {
+		g.offset += g.rotateStep
+	}
+	g.draws++
+	r := (g.zipf.Uint64() + g.offset) % g.n
+	return ZipfKey(int(g.n), int(r))
+}
+
+// Clone implements KeyGen. The clone starts at the parent's current
+// rotation offset with an independent random stream, so workers agree on
+// who is hot right now but never correlate their draws.
+func (g *ZipfGen) Clone(workerID int) KeyGen {
+	c := NewZipfGen(g.rng.Int63()+int64(workerID)*7919, g.s, int(g.n), g.rotateEvery, int(g.rotateStep))
+	c.offset = g.offset
+	return c
+}
+
+// PrefixGen namespaces an inner generator's keys — multi-tenant scenarios
+// give each tenant tier its own prefix so per-tier rule classes can be
+// seeded and accounted separately.
+type PrefixGen struct {
+	Prefix string
+	Inner  KeyGen
+}
+
+// Next implements KeyGen.
+func (g *PrefixGen) Next() string { return g.Prefix + g.Inner.Next() }
+
+// Clone implements KeyGen.
+func (g *PrefixGen) Clone(workerID int) KeyGen {
+	return &PrefixGen{Prefix: g.Prefix, Inner: g.Inner.Clone(workerID)}
+}
+
+// TierComponent is one weighted member of a TieredGen mixture.
+type TierComponent struct {
+	Gen    KeyGen
+	Weight float64
+}
+
+// TieredGen draws each key from one of several sub-generators with
+// probability proportional to its weight — the multi-tenant traffic mix
+// (free/paid/enterprise classes issuing requests at distinct rates).
+type TieredGen struct {
+	rng   *rand.Rand
+	comps []TierComponent
+	total float64
+}
+
+// NewTieredGen builds a weighted mixture over comps (weights must be > 0).
+func NewTieredGen(seed int64, comps []TierComponent) (*TieredGen, error) {
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("loadgen: tiered generator needs at least one component")
+	}
+	total := 0.0
+	for _, c := range comps {
+		if c.Weight <= 0 {
+			return nil, fmt.Errorf("loadgen: tiered component weight %v <= 0", c.Weight)
+		}
+		if c.Gen == nil {
+			return nil, fmt.Errorf("loadgen: tiered component without a generator")
+		}
+		total += c.Weight
+	}
+	return &TieredGen{rng: rand.New(rand.NewSource(seed)), comps: comps, total: total}, nil
+}
+
+// Next implements KeyGen.
+func (g *TieredGen) Next() string {
+	u := g.rng.Float64() * g.total
+	for i := range g.comps {
+		if u < g.comps[i].Weight {
+			return g.comps[i].Gen.Next()
+		}
+		u -= g.comps[i].Weight
+	}
+	return g.comps[len(g.comps)-1].Gen.Next()
+}
+
+// Clone implements KeyGen; every sub-generator is cloned so workers never
+// share mutable state.
+func (g *TieredGen) Clone(workerID int) KeyGen {
+	comps := make([]TierComponent, len(g.comps))
+	for i, c := range g.comps {
+		comps[i] = TierComponent{Gen: c.Gen.Clone(workerID), Weight: c.Weight}
+	}
+	c, _ := NewTieredGen(g.rng.Int63()+int64(workerID)*7919, comps)
+	return c
+}
+
 // Unique returns n unique keys drawn from gen (for pre-seeding rule
 // databases).
 func Unique(gen KeyGen, n int) []string {

@@ -23,7 +23,11 @@ type Clock struct {
 	AfterFunc func(time.Duration) <-chan time.Time
 }
 
-func (c Clock) now() time.Time {
+// Now reads the injected clock (or the wall clock when none is injected).
+// Exported so scenario harnesses built on other packages can share one
+// clock discipline — and one pair of wall-clock fallbacks — with the
+// generator.
+func (c Clock) Now() time.Time {
 	if c.NowFunc != nil {
 		return c.NowFunc()
 	}
@@ -31,13 +35,17 @@ func (c Clock) now() time.Time {
 	return time.Now()
 }
 
-func (c Clock) after(d time.Duration) <-chan time.Time {
+// After mirrors time.After on the injected clock.
+func (c Clock) After(d time.Duration) <-chan time.Time {
 	if c.AfterFunc != nil {
 		return c.AfterFunc(d)
 	}
 	//lint:ignore simclock fallback to the real timer when no clock is injected
 	return time.After(d)
 }
+
+func (c Clock) now() time.Time                      { return c.Now() }
+func (c Clock) after(d time.Duration) <-chan time.Time { return c.After(d) }
 
 // Checker performs one admission check; implementations include the HTTP
 // client (against an LB or a router) and in-process deployments.
@@ -237,6 +245,12 @@ type OpenLoopConfig struct {
 	Keys    KeyGen
 	// Rate is the average request rate per second.
 	Rate float64
+	// RateFunc, when non-nil, supplies the instantaneous target rate as a
+	// function of elapsed run time, overriding Rate — scenario profiles
+	// (diurnal sine, flash-crowd step) plug in here. It is sampled before
+	// every arrival, so a 10× step takes effect within one inter-arrival
+	// gap. Values <= 0 pause the stream for 10ms and re-sample.
+	RateFunc func(elapsed time.Duration) float64
 	// NoiseFraction perturbs each inter-arrival gap uniformly by
 	// ±NoiseFraction (0 disables; the paper adds intentional noise).
 	NoiseFraction float64
@@ -255,7 +269,7 @@ type OpenLoopConfig struct {
 
 // RunOpenLoop executes a paced benchmark run.
 func RunOpenLoop(ctx context.Context, cfg OpenLoopConfig) Result {
-	if cfg.Rate <= 0 {
+	if cfg.Rate <= 0 && cfg.RateFunc == nil {
 		cfg.Rate = 1
 	}
 	if cfg.Workers <= 0 {
@@ -307,7 +321,6 @@ func RunOpenLoop(ctx context.Context, cfg OpenLoopConfig) Result {
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	keys := cfg.Keys
-	gap := time.Duration(float64(time.Second) / cfg.Rate)
 	deadline := start.Add(cfg.Duration)
 	next := start
 pacing:
@@ -315,6 +328,21 @@ pacing:
 		if ctx.Err() != nil {
 			break
 		}
+		rate := cfg.Rate
+		if cfg.RateFunc != nil {
+			rate = cfg.RateFunc(cfg.Clock.now().Sub(start))
+			if rate <= 0 {
+				// The profile paused the stream: idle briefly, re-sample.
+				select {
+				case <-cfg.Clock.after(10 * time.Millisecond):
+				case <-ctx.Done():
+					break pacing
+				}
+				next = cfg.Clock.now()
+				continue
+			}
+		}
+		gap := time.Duration(float64(time.Second) / rate)
 		jitter := 1.0
 		if cfg.NoiseFraction > 0 {
 			jitter = 1 + (rng.Float64()*2-1)*cfg.NoiseFraction

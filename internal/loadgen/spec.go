@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -15,6 +16,12 @@ import (
 //	seq:N           sequential numbers from N
 //	fixed:K         the single key K
 //	cycle:a,b,c     cycle through the listed keys
+//	zipf:S:N        Zipfian popularity, exponent S (>1), over N keys
+//	                ("z<N>-<rank>"; different N never collide)
+//	tiered:S@W,...  weighted mixture: each component is any of the above
+//	                specs suffixed with @weight (e.g.
+//	                "tiered:zipf:1.3:100@8,uuid@2" draws 80%/20%); tiered
+//	                cannot nest
 func FromSpec(spec string, seed int64) (KeyGen, error) {
 	switch {
 	case spec == "uuid":
@@ -49,7 +56,79 @@ func FromSpec(spec string, seed int64) (KeyGen, error) {
 			return nil, fmt.Errorf("loadgen: empty cycle list")
 		}
 		return NewCyclicGen(clean), nil
+	case strings.HasPrefix(spec, "zipf:"):
+		s, n, err := parseZipfSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		return NewZipfGen(seed, s, n, 0, 0), nil
+	case strings.HasPrefix(spec, "tiered:"):
+		return parseTieredSpec(spec, seed)
 	default:
-		return nil, fmt.Errorf("loadgen: unknown key spec %q (uuid|timestamp|words|seq[:N]|fixed:K|cycle:a,b,c)", spec)
+		return nil, fmt.Errorf("loadgen: unknown key spec %q (uuid|timestamp|words|seq[:N]|fixed:K|cycle:a,b,c|zipf:S:N|tiered:spec@w,...)", spec)
 	}
+}
+
+// parseZipfSpec parses "zipf:<s>:<N>" with s > 1 and N >= 1.
+func parseZipfSpec(spec string) (s float64, n int, err error) {
+	parts := strings.Split(strings.TrimPrefix(spec, "zipf:"), ":")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("loadgen: bad zipf spec %q (want zipf:<s>:<N>)", spec)
+	}
+	s, err = strconv.ParseFloat(parts[0], 64)
+	if err != nil || s <= 1 {
+		return 0, 0, fmt.Errorf("loadgen: zipf exponent %q must be a number > 1", parts[0])
+	}
+	n, err = strconv.Atoi(parts[1])
+	if err != nil || n < 1 {
+		return 0, 0, fmt.Errorf("loadgen: zipf population %q must be an integer >= 1", parts[1])
+	}
+	return s, n, nil
+}
+
+// parseTieredSpec parses "tiered:<spec>@<weight>,...". Components are
+// separated by commas; a comma inside a component (a cycle list) is
+// supported because segments accumulate until one ends in a parsable
+// "@<weight>" tail. Keys containing '@' are not supported inside tiered.
+func parseTieredSpec(spec string, seed int64) (KeyGen, error) {
+	body := strings.TrimPrefix(spec, "tiered:")
+	if body == "" {
+		return nil, fmt.Errorf("loadgen: empty tiered list")
+	}
+	var comps []TierComponent
+	pending := ""
+	for _, seg := range strings.Split(body, ",") {
+		if pending != "" {
+			pending += "," + seg
+		} else {
+			pending = seg
+		}
+		at := strings.LastIndex(pending, "@")
+		if at < 0 {
+			continue // weight still to come in a later segment
+		}
+		w, err := strconv.ParseFloat(pending[at+1:], 64)
+		if err != nil {
+			continue // '@' belonged to the key text; keep accumulating
+		}
+		if w <= 0 {
+			return nil, fmt.Errorf("loadgen: tiered weight %q must be > 0", pending[at+1:])
+		}
+		sub := pending[:at]
+		if strings.HasPrefix(sub, "tiered:") {
+			return nil, fmt.Errorf("loadgen: tiered specs cannot nest (%q)", sub)
+		}
+		// Derive a distinct deterministic seed per component so identical
+		// sub-specs still draw independent streams.
+		gen, err := FromSpec(sub, seed+int64(len(comps))*104729+1)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: tiered component %q: %w", sub, err)
+		}
+		comps = append(comps, TierComponent{Gen: gen, Weight: w})
+		pending = ""
+	}
+	if pending != "" {
+		return nil, fmt.Errorf("loadgen: tiered component %q has no @weight", pending)
+	}
+	return NewTieredGen(seed, comps)
 }

@@ -648,6 +648,11 @@ func (s *Server) CurrentSojourn() time.Duration {
 	return time.Duration(s.curSojournNs.Load())
 }
 
+// SojournTotal returns the end-to-end (recv→sent) sojourn histogram in
+// nanoseconds — the per-node tail signal the scenario harness feeds to SLO
+// checks and the autoscaler, without registry-name coupling.
+func (s *Server) SojournTotal() *metrics.Histogram { return s.sojournTotal }
+
 // fpLeaseRevokeDrop models a lost lease revocation: the reserved rate is
 // already released server-side, but the holder never hears it should stop
 // admitting locally, so it keeps spending its leased rate until the TTL

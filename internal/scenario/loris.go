@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+// lorisPack is a flock of slow-loris clients: each opens a TCP connection
+// to the HTTP front end, sends an unterminated request, and then trickles
+// one header line every few hundred milliseconds — the classic held-socket
+// attack. The SLO asserts the cluster keeps serving everyone else.
+type lorisPack struct {
+	clk  loadgen.Clock
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// startLoris launches n trickling connections against addr. All timing
+// goes through clk, the package's one clock discipline.
+func startLoris(clk loadgen.Clock, addr string, n int) *lorisPack {
+	l := &lorisPack{clk: clk, stop: make(chan struct{})}
+	for i := 0; i < n; i++ {
+		l.wg.Add(1)
+		go func(i int) {
+			defer l.wg.Done()
+			d := net.Dialer{Timeout: time.Second}
+			conn, err := d.Dial("tcp", addr)
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			if _, err := io.WriteString(conn, "GET /qos?key=loris HTTP/1.1\r\nHost: janus\r\n"); err != nil {
+				return
+			}
+			for j := 0; ; j++ {
+				select {
+				case <-l.stop:
+					return
+				case <-l.clk.After(250 * time.Millisecond):
+				}
+				conn.SetWriteDeadline(l.clk.Now().Add(time.Second))
+				if _, err := fmt.Fprintf(conn, "X-Drip-%d-%d: trickle\r\n", i, j); err != nil {
+					return
+				}
+			}
+		}(i)
+	}
+	return l
+}
+
+// Stop tears every trickling connection down and waits for the flock.
+func (l *lorisPack) Stop() {
+	close(l.stop)
+	l.wg.Wait()
+}

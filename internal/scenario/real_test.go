@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"context"
+	"os"
+	"testing"
+)
+
+// realTierEnabled gates the live-cluster tier: each scenario boots a full
+// loopback deployment and runs for seconds under pinned service rates, so
+// it is opt-in (JANUS_SCENARIOS_REAL=1; `make scenarios` sets it, the
+// nightly job adds JANUS_SCENARIO_BUDGET=long for the full budget).
+func realTierEnabled(t *testing.T) bool {
+	t.Helper()
+	if os.Getenv("JANUS_SCENARIOS_REAL") == "" {
+		t.Skip("real-cluster tier skipped; set JANUS_SCENARIOS_REAL=1")
+	}
+	return true
+}
+
+func longBudget() bool { return os.Getenv("JANUS_SCENARIO_BUDGET") == "long" }
+
+// TestRealScenariosMeetSLO runs every scenario against the live cluster.
+// Scenarios run sequentially: the decide-delay failpoint is process-global.
+func TestRealScenariosMeetSLO(t *testing.T) {
+	realTierEnabled(t)
+	if testing.Short() {
+		t.Skip("real tier not run with -short")
+	}
+	seed := desSeed(t)
+	for _, sc := range All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rep, err := RunReal(context.Background(), sc, seed, longBudget())
+			if err != nil {
+				t.Fatal(err)
+			}
+			collect(rep)
+			t.Logf("%s/real: req=%d admit=%d reject=%d degraded=%d dropped=%d errors=%d over=%.3f p99=%.1fms out=%d in=%d routers=%d audit=%s",
+				sc.Name, rep.Requests, rep.Admitted, rep.Rejected, rep.Degraded,
+				rep.Dropped, rep.Errors, rep.AdmitOverBound, rep.P99SojournMs,
+				rep.ScaledOut, rep.ScaledIn, rep.FinalRouters, rep.AuditVerdict)
+			if !rep.SLOPass {
+				t.Errorf("SLO violations: %v", rep.Violations)
+			}
+			if rep.Requests == 0 {
+				t.Fatal("scenario generated no load")
+			}
+		})
+	}
+}
